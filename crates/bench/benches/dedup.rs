@@ -1,0 +1,85 @@
+//! Ablation bench: hash table vs direct address table for duplicate
+//! removal of off-processor accesses (paper Section 3.2, Figure 8).
+//!
+//! The paper: "Using a direct address table saves search time for
+//! checking duplicated data accesses, but takes memory space
+//! proportional to the number of mesh grid points."  This bench measures
+//! the time side of that trade at scatter-phase access patterns (~4
+//! particles per cell touching clustered ghost vertices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_core::{DirectTableAccumulator, GhostAccumulator, HashTableAccumulator};
+use pic_field::BlockLayout;
+use std::hint::black_box;
+
+/// Ghost accesses of a smeared particle subdomain: `n` accesses spread
+/// over a band of `cells` distinct vertices (duplication factor
+/// `n / cells`).
+fn access_pattern(n: usize, cells: usize, nx: u32) -> Vec<(u32, u32)> {
+    (0..n)
+        .map(|i| {
+            let c = ((i as u64 * 2654435761) % cells as u64) as u32;
+            (c % nx, c / nx)
+        })
+        .collect()
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let (nx, ny) = (512usize, 256usize);
+    let layout = BlockLayout::new_2d(nx, ny, 16, 8);
+    // 4096 particles x 4 vertices, hitting 4096 distinct ghost vertices
+    let accesses = access_pattern(16_384, 4096, nx as u32);
+
+    let mut g = c.benchmark_group("ghost_dedup_16k_accesses");
+    g.bench_function("hash_table", |b| {
+        let mut acc = HashTableAccumulator::new(nx);
+        b.iter(|| {
+            for &(x, y) in &accesses {
+                acc.add(black_box(x), black_box(y), [1.0, 0.5, 0.25]);
+            }
+            acc.drain_by_owner(&layout).len()
+        })
+    });
+    g.bench_function("direct_table", |b| {
+        let mut acc = DirectTableAccumulator::new(nx, ny);
+        b.iter(|| {
+            for &(x, y) in &accesses {
+                acc.add(black_box(x), black_box(y), [1.0, 0.5, 0.25]);
+            }
+            acc.drain_by_owner(&layout).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_dedup_duplication_sweep(c: &mut Criterion) {
+    // how the win scales with the duplication factor
+    let (nx, ny) = (512usize, 256usize);
+    let layout = BlockLayout::new_2d(nx, ny, 16, 8);
+    let mut g = c.benchmark_group("ghost_dedup_duplication");
+    for distinct in [512usize, 4096, 16_384] {
+        let accesses = access_pattern(16_384, distinct, nx as u32);
+        g.bench_function(format!("hash_distinct{distinct}"), |b| {
+            let mut acc = HashTableAccumulator::new(nx);
+            b.iter(|| {
+                for &(x, y) in &accesses {
+                    acc.add(x, y, [1.0, 0.5, 0.25]);
+                }
+                acc.drain_by_owner(&layout).len()
+            })
+        });
+        g.bench_function(format!("direct_distinct{distinct}"), |b| {
+            let mut acc = DirectTableAccumulator::new(nx, ny);
+            b.iter(|| {
+                for &(x, y) in &accesses {
+                    acc.add(x, y, [1.0, 0.5, 0.25]);
+                }
+                acc.drain_by_owner(&layout).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dedup, bench_dedup_duplication_sweep);
+criterion_main!(benches);

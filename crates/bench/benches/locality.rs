@@ -1,0 +1,49 @@
+//! Ablation bench: locality metric computation across indexing schemes,
+//! plus the alignment-report kernel the experiment logs use.
+//!
+//! These run per experiment (not per iteration), but on big meshes the
+//! range statistics are `O(cells)` per rank; this keeps them cheap
+//! enough to log every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_index::{neighbor_jump_stats, range_bbox_stats, IndexScheme};
+use pic_partition::alignment_report;
+use std::hint::black_box;
+
+fn bench_locality_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locality_metrics_128x64");
+    g.sample_size(20);
+    for scheme in IndexScheme::ALL {
+        let ix = scheme.build(128, 64);
+        g.bench_function(format!("jumps_{}", scheme.label()), |b| {
+            b.iter(|| black_box(neighbor_jump_stats(ix.as_ref())))
+        });
+        g.bench_function(format!("ranges_{}", scheme.label()), |b| {
+            b.iter(|| black_box(range_bbox_stats(ix.as_ref(), 32)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_alignment_report(c: &mut Criterion) {
+    let n = 8192;
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37) % 128.0).collect();
+    let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61) % 64.0).collect();
+    let own = pic_field::Rect { x0: 32, y0: 16, w: 16, h: 16 };
+    c.bench_function("alignment_report_8k_particles", |b| {
+        b.iter(|| {
+            black_box(alignment_report(
+                black_box(&xs),
+                black_box(&ys),
+                1.0,
+                1.0,
+                128,
+                64,
+                &own,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_locality_metrics, bench_alignment_report);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Kernel bench: wall-clock cost of the PIC phases on this host.
+//!
+//! Modeled time drives the reproduced figures; this bench keeps the
+//! *implementation* honest by measuring the real per-iteration cost of
+//! the sequential physics kernels and a full parallel machine step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_core::{ParallelPicSim, SequentialPicSim, SimConfig};
+use pic_machine::MachineConfig;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+use std::hint::black_box;
+
+fn small_cfg() -> SimConfig {
+    SimConfig {
+        nx: 64,
+        ny: 32,
+        particles: 8192,
+        distribution: ParticleDistribution::IrregularCenter,
+        machine: MachineConfig::cm5(8),
+        policy: PolicyKind::Static,
+        ..SimConfig::paper_default()
+    }
+}
+
+fn bench_sequential_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_step");
+    g.sample_size(30);
+    let mut sim = SequentialPicSim::new(small_cfg());
+    g.bench_function("64x32_8k_particles", |b| {
+        b.iter(|| {
+            sim.step();
+            black_box(sim.particles().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_step");
+    g.sample_size(30);
+    let mut sim = ParallelPicSim::new(small_cfg());
+    g.bench_function("64x32_8k_8ranks", |b| {
+        b.iter(|| black_box(sim.step().time_s))
+    });
+    let mut paper = ParallelPicSim::new(SimConfig::paper_default());
+    g.bench_function("paper_128x64_32k_32ranks", |b| {
+        b.iter(|| black_box(paper.step().time_s))
+    });
+    g.finish();
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redistribution");
+    g.sample_size(20);
+    let mut sim = ParallelPicSim::new(small_cfg());
+    g.bench_function("redistribute_64x32_8k", |b| {
+        b.iter(|| {
+            sim.step();
+            black_box(sim.redistribute_now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_step,
+    bench_parallel_step,
+    bench_redistribution
+);
+criterion_main!(benches);

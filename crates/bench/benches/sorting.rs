@@ -1,0 +1,73 @@
+//! Ablation bench: bucket incremental sorting vs from-scratch sorting.
+//!
+//! Paper Figure 11's claim: "Particle redistribution achieves better
+//! results by using the incremental sorting algorithm than by using the
+//! distribution algorithm at each step."  Incremental movement means the
+//! key array is nearly sorted at each redistribution; the bucket sorter
+//! exploits that, a full sort cannot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_partition::{sorted_order, BucketIncrementalSorter};
+use std::hint::black_box;
+
+/// A nearly sorted key array: sorted, then each key perturbed slightly —
+/// the state of a rank's keys a few iterations after the last sort.
+fn nearly_sorted(n: usize, displacement: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let wobble = (i * 2654435761) % (2 * displacement + 1);
+            (i * 16).saturating_add(wobble)
+        })
+        .collect()
+}
+
+fn shuffled(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * 2654435761) % (n as u64 * 16)).collect()
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let n = 32_768;
+    let mut g = c.benchmark_group("redistribution_sort_32k");
+
+    for displacement in [8u64, 64, 512] {
+        let keys = nearly_sorted(n, displacement);
+        let mut sorter = BucketIncrementalSorter::new(16);
+        let pre = sorted_order(&keys);
+        let sorted: Vec<u64> = pre.iter().map(|&i| keys[i]).collect();
+        sorter.rebuild(&sorted);
+        g.bench_function(format!("bucket_incremental_disp{displacement}"), |b| {
+            b.iter(|| sorter.sort_incremental(black_box(&keys)))
+        });
+    }
+
+    let keys = nearly_sorted(n, 64);
+    g.bench_function("full_sorted_order_nearly_sorted", |b| {
+        b.iter(|| sorted_order(black_box(&keys)))
+    });
+    let keys = shuffled(n);
+    g.bench_function("full_sorted_order_shuffled", |b| {
+        b.iter(|| sorted_order(black_box(&keys)))
+    });
+    g.finish();
+}
+
+fn bench_bucket_count_sensitivity(c: &mut Criterion) {
+    // the paper's L parameter: more buckets = cheaper per-bucket sorts
+    // but more classification; measure the sweet spot
+    let n = 32_768;
+    let keys = nearly_sorted(n, 64);
+    let mut g = c.benchmark_group("bucket_count_32k");
+    for l in [1usize, 4, 16, 64, 256] {
+        let mut sorter = BucketIncrementalSorter::new(l);
+        let pre = sorted_order(&keys);
+        let sorted: Vec<u64> = pre.iter().map(|&i| keys[i]).collect();
+        sorter.rebuild(&sorted);
+        g.bench_function(format!("L{l}"), |b| {
+            b.iter(|| sorter.sort_incremental(black_box(&keys)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full, bench_bucket_count_sensitivity);
+criterion_main!(benches);

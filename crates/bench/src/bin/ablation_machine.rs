@@ -1,0 +1,63 @@
+//! Ablation: machine-constant sensitivity (paper Section 6.3, final
+//! remark).
+//!
+//! "Clearly, the CM-5 (without vector units) is not representative of a
+//! typical parallel machine, because the ratio of unit computation to
+//! unit communication is small.  These efficiencies would be much
+//! smaller for a machine with more powerful nodes relative to the
+//! communication network.  Maintaining similar efficiencies on such a
+//! machine would require a larger number of particles per processor."
+//!
+//! We sweep particles-per-processor on the CM-5 preset and on a
+//! modern-cluster preset (fast nodes, relatively slower network) and
+//! print the efficiency curves: the modern machine needs a much larger
+//! grain to reach the same efficiency.
+
+use pic_bench::{iters_from_args, sequential_modeled_time, write_csv};
+use pic_core::{ParallelPicSim, SimConfig};
+use pic_index::IndexScheme;
+use pic_machine::MachineConfig;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(100);
+    let p = 32;
+    println!("Machine ablation: efficiency vs particles-per-processor, p = {p}, {iters} iterations\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "machine", "n/p", "total (s)", "efficiency"
+    );
+    let mut rows = Vec::new();
+    for (name, machine) in [
+        ("cm5", MachineConfig::cm5(p)),
+        ("modern", MachineConfig::modern(p)),
+    ] {
+        for npp in [256usize, 1024, 4096, 16_384] {
+            let cfg = SimConfig {
+                nx: 128,
+                ny: 64,
+                particles: npp * p,
+                distribution: ParticleDistribution::Uniform,
+                scheme: IndexScheme::Hilbert,
+                policy: PolicyKind::DynamicSar,
+                machine,
+                ..SimConfig::paper_default()
+            };
+            let t_seq = sequential_modeled_time(&cfg, iters);
+            let mut sim = ParallelPicSim::new(cfg);
+            let t_p = sim.run(iters).total_s;
+            let eff = t_seq / (p as f64 * t_p);
+            println!("{:<12} {:>10} {:>12.4} {:>12.3}", name, npp, t_p, eff);
+            rows.push(format!("{name},{npp},{t_p:.6},{eff:.4}"));
+        }
+        println!();
+    }
+    write_csv(
+        "ablation_machine.csv",
+        "machine,particles_per_proc,total_s,efficiency",
+        &rows,
+    );
+    println!("(the modern machine should need ~an order of magnitude more particles");
+    println!(" per processor to match the CM-5's efficiency, as the paper predicts)");
+}

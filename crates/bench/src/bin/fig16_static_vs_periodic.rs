@@ -1,0 +1,94 @@
+//! Figure 16: total execution time for 2000 iterations on 32 nodes,
+//! static vs periodic redistribution (periods 200, 100, 50, 25, 10, 5),
+//! for three (mesh, particles) sizes with the irregular distribution.
+//!
+//! Paper claim to reproduce: "all the periodic redistribution methods
+//! significantly outperform static ones", with the best period depending
+//! on the configuration.
+
+use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(2000);
+    let sizes = [(128usize, 64usize, 32_768usize), (256, 128, 65_536), (256, 128, 131_072)];
+    let policies = [
+        PolicyKind::Static,
+        PolicyKind::Periodic(200),
+        PolicyKind::Periodic(100),
+        PolicyKind::Periodic(50),
+        PolicyKind::Periodic(25),
+        PolicyKind::Periodic(10),
+        PolicyKind::Periodic(5),
+    ];
+
+    println!("Figure 16: total execution time for {iters} iterations on 32 nodes (modeled s)\n");
+    print!("{:<22}", "policy");
+    for (nx, ny, n) in sizes {
+        print!("{:>18}", format!("{nx}x{ny}/{}k", n / 1024));
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    let mut totals = vec![Vec::new(); policies.len()];
+    for (pi, policy) in policies.iter().enumerate() {
+        print!("{:<22}", policy.label());
+        for (nx, ny, n) in sizes {
+            let cfg = paper_cfg(
+                nx,
+                ny,
+                n,
+                32,
+                ParticleDistribution::IrregularCenter,
+                IndexScheme::Hilbert,
+                *policy,
+            );
+            let mut sim = ParallelPicSim::new(cfg);
+            let report = sim.run(iters);
+            print!("{:>18.2}", report.total_s);
+            totals[pi].push(report.total_s);
+        }
+        println!();
+    }
+    for (pi, policy) in policies.iter().enumerate() {
+        rows.push(format!(
+            "{},{}",
+            policy.label(),
+            totals[pi]
+                .iter()
+                .map(|t| format!("{t:.3}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    write_csv(
+        "fig16_static_vs_periodic.csv",
+        "policy,t_128x64_32k,t_256x128_64k,t_256x128_128k",
+        &rows,
+    );
+
+    // the paper's headline check
+    let static_best = totals[0].clone();
+    let periodic_best: Vec<f64> = (0..sizes.len())
+        .map(|c| {
+            (1..policies.len())
+                .map(|p| totals[p][c])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    println!();
+    for (c, (nx, ny, n)) in sizes.iter().enumerate() {
+        println!(
+            "{}x{}/{}k: periodic best {:.2} vs static {:.2} ({:.1}% saved)",
+            nx,
+            ny,
+            n / 1024,
+            periodic_best[c],
+            static_best[c],
+            100.0 * (1.0 - periodic_best[c] / static_best[c])
+        );
+    }
+}

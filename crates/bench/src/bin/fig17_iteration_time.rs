@@ -1,0 +1,81 @@
+//! Figure 17: execution time of each iteration (irregular distribution,
+//! 128x64 mesh, 32768 particles, 32 processors) under static and
+//! periodic redistribution.
+//!
+//! Shape to reproduce: the static curve climbs steadily as the
+//! Lagrangian particle subdomains smear; periodic curves are sawtooths
+//! that reset at every redistribution.
+
+use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(2000);
+    let policies = [
+        PolicyKind::Static,
+        PolicyKind::Periodic(100),
+        PolicyKind::Periodic(25),
+        PolicyKind::Periodic(5),
+    ];
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for policy in policies {
+        let cfg = paper_cfg(
+            128,
+            64,
+            32_768,
+            32,
+            ParticleDistribution::IrregularCenter,
+            IndexScheme::Hilbert,
+            policy,
+        );
+        let mut sim = ParallelPicSim::new(cfg);
+        series.push((0..iters).map(|_| sim.step().time_s).collect());
+    }
+
+    let rows: Vec<String> = (0..iters)
+        .map(|i| {
+            let vals: Vec<String> = series.iter().map(|s| format!("{:.6}", s[i])).collect();
+            format!("{},{}", i + 1, vals.join(","))
+        })
+        .collect();
+    write_csv(
+        "fig17_iteration_time.csv",
+        "iter,static,periodic100,periodic25,periodic5",
+        &rows,
+    );
+
+    println!("Figure 17: per-iteration execution time (modeled ms)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "first 5%", "last 5%", "peak", "rise"
+    );
+    let window = (iters / 20).max(1);
+    for (policy, s) in policies.iter().zip(&series) {
+        let head = s[..window].iter().sum::<f64>() / window as f64;
+        let tail = s[iters - window..].iter().sum::<f64>() / window as f64;
+        let peak = s.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>9.1}%",
+            policy.label(),
+            head * 1e3,
+            tail * 1e3,
+            peak * 1e3,
+            100.0 * (tail / head - 1.0)
+        );
+    }
+    println!("\n(static must rise; periodic stays near its post-redistribution floor)\n");
+    println!(
+        "{}",
+        pic_bench::render_chart(
+            &[
+                ("static", &series[0]),
+                ("periodic(25)", &series[2]),
+            ],
+            72,
+            14,
+        )
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 18: maximum amount of data sent and received by any processor
+//! in the scatter phase, per iteration (irregular, 128x64, 32768
+//! particles, 32 processors).
+//!
+//! Shape to reproduce: without redistribution the ghost-point volume
+//! keeps growing; with periodic redistribution it drops back after every
+//! redistribution.
+
+use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(2000);
+    let policies = [PolicyKind::Static, PolicyKind::Periodic(25)];
+    let mut sent: Vec<Vec<u64>> = Vec::new();
+    let mut recv: Vec<Vec<u64>> = Vec::new();
+    for policy in policies {
+        let cfg = paper_cfg(
+            128,
+            64,
+            32_768,
+            32,
+            ParticleDistribution::IrregularCenter,
+            IndexScheme::Hilbert,
+            policy,
+        );
+        let mut sim = ParallelPicSim::new(cfg);
+        let mut s = Vec::with_capacity(iters);
+        let mut r = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let rec = sim.step();
+            s.push(rec.scatter_max_bytes_sent);
+            r.push(rec.scatter_max_bytes_recv);
+        }
+        sent.push(s);
+        recv.push(r);
+    }
+
+    let rows: Vec<String> = (0..iters)
+        .map(|i| {
+            format!(
+                "{},{},{},{},{}",
+                i + 1,
+                sent[0][i],
+                recv[0][i],
+                sent[1][i],
+                recv[1][i]
+            )
+        })
+        .collect();
+    write_csv(
+        "fig18_scatter_data.csv",
+        "iter,static_sent,static_recv,periodic25_sent,periodic25_recv",
+        &rows,
+    );
+
+    println!("Figure 18: max scatter-phase bytes sent/received by any processor\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "policy", "sent first 5%", "sent last 5%", "recv first 5%", "recv last 5%"
+    );
+    let w = (iters / 20).max(1);
+    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    for (k, policy) in policies.iter().enumerate() {
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            policy.label(),
+            avg(&sent[k][..w]),
+            avg(&sent[k][iters - w..]),
+            avg(&recv[k][..w]),
+            avg(&recv[k][iters - w..]),
+        );
+    }
+    println!("\n(periodic redistribution keeps both flat; static grows)\n");
+    let to_f = |v: &[u64]| -> Vec<f64> { v.iter().map(|&b| b as f64).collect() };
+    let static_sent = to_f(&sent[0]);
+    let periodic_sent = to_f(&sent[1]);
+    println!(
+        "{}",
+        pic_bench::render_chart(
+            &[("static sent", &static_sent), ("periodic(25) sent", &periodic_sent)],
+            72,
+            14,
+        )
+    );
+}

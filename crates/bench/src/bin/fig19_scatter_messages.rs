@@ -1,0 +1,79 @@
+//! Figure 19: maximum number of messages sent and received by any
+//! processor in the scatter phase, per iteration (irregular, 128x64,
+//! 32768 particles, 32 processors).
+//!
+//! Shape to reproduce: as particle subdomains smear they overlap more
+//! ranks' mesh blocks, so the per-iteration message count climbs toward
+//! its `p - 1` bound; redistribution pulls it back to the few genuine
+//! neighbours.
+
+use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(2000);
+    let policies = [PolicyKind::Static, PolicyKind::Periodic(25)];
+    let mut sent: Vec<Vec<u64>> = Vec::new();
+    let mut recv: Vec<Vec<u64>> = Vec::new();
+    for policy in policies {
+        let cfg = paper_cfg(
+            128,
+            64,
+            32_768,
+            32,
+            ParticleDistribution::IrregularCenter,
+            IndexScheme::Hilbert,
+            policy,
+        );
+        let mut sim = ParallelPicSim::new(cfg);
+        let mut s = Vec::with_capacity(iters);
+        let mut r = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let rec = sim.step();
+            s.push(rec.scatter_max_msgs_sent);
+            r.push(rec.scatter_max_msgs_recv);
+        }
+        sent.push(s);
+        recv.push(r);
+    }
+
+    let rows: Vec<String> = (0..iters)
+        .map(|i| {
+            format!(
+                "{},{},{},{},{}",
+                i + 1,
+                sent[0][i],
+                recv[0][i],
+                sent[1][i],
+                recv[1][i]
+            )
+        })
+        .collect();
+    write_csv(
+        "fig19_scatter_messages.csv",
+        "iter,static_sent,static_recv,periodic25_sent,periodic25_recv",
+        &rows,
+    );
+
+    println!("Figure 19: max scatter-phase messages sent/received by any processor\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "policy", "sent start", "sent end", "recv start", "recv end"
+    );
+    let w = (iters / 20).max(1);
+    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    for (k, policy) in policies.iter().enumerate() {
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            policy.label(),
+            avg(&sent[k][..w]),
+            avg(&sent[k][iters - w..]),
+            avg(&recv[k][..w]),
+            avg(&recv[k][iters - w..]),
+        );
+    }
+    println!("\n(the hard bound is p - 1 = 31 messages; static should approach it)");
+}

@@ -1,0 +1,77 @@
+//! Figure 20: periodic vs dynamic redistribution over 200 iterations —
+//! total time (execution + redistribution) as a function of the period,
+//! with the dynamic Stop-At-Rise policy as the tuning-free reference.
+//!
+//! Paper claim to reproduce: "The performance of dynamic redistribution
+//! is close to the periodic redistribution with the best period",
+//! without any pre-runtime analysis.
+
+use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(200);
+    let periods = [5usize, 10, 15, 20, 25, 40, 50, 100, 200];
+
+    let run = |policy: PolicyKind| {
+        let cfg = paper_cfg(
+            128,
+            64,
+            32_768,
+            32,
+            ParticleDistribution::IrregularCenter,
+            IndexScheme::Hilbert,
+            policy,
+        );
+        let mut sim = ParallelPicSim::new(cfg);
+        let report = sim.run(iters);
+        (
+            report.total_s,
+            report.redistribute_total_s,
+            report.redistributions,
+        )
+    };
+
+    println!("Figure 20: periodic vs dynamic redistribution, {iters} iterations (modeled s)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>9}",
+        "policy", "total", "execution", "redistrib.", "#redist"
+    );
+    let mut rows = Vec::new();
+    let mut best_periodic = f64::INFINITY;
+    for k in periods {
+        let (total, redist, count) = run(PolicyKind::Periodic(k));
+        best_periodic = best_periodic.min(total);
+        println!(
+            "{:<16} {:>10.2} {:>12.2} {:>12.2} {:>9}",
+            format!("periodic({k})"),
+            total,
+            total - redist,
+            redist,
+            count
+        );
+        rows.push(format!("periodic({k}),{total:.4},{redist:.4},{count}"));
+    }
+    let (dyn_total, dyn_redist, dyn_count) = run(PolicyKind::DynamicSar);
+    println!(
+        "{:<16} {:>10.2} {:>12.2} {:>12.2} {:>9}",
+        "dynamic", dyn_total, dyn_total - dyn_redist, dyn_redist, dyn_count
+    );
+    rows.push(format!("dynamic,{dyn_total:.4},{dyn_redist:.4},{dyn_count}"));
+    let (stat_total, _, _) = run(PolicyKind::Static);
+    println!("{:<16} {:>10.2}", "static", stat_total);
+    rows.push(format!("static,{stat_total:.4},0,0"));
+    write_csv(
+        "fig20_dynamic_policy.csv",
+        "policy,total_s,redistribute_s,redistributions",
+        &rows,
+    );
+
+    println!(
+        "\ndynamic is {:.1}% off the best periodic ({best_periodic:.2} s) with zero tuning",
+        100.0 * (dyn_total / best_periodic - 1.0)
+    );
+}

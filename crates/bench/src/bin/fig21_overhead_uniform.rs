@@ -1,0 +1,18 @@
+//! Figure 21: overhead (execution time minus computation time) of 200
+//! iterations for the uniform distribution, Hilbert vs snakelike
+//! indexing, across processor counts.
+//!
+//! Shapes to reproduce: Hilbert overhead <= snakelike in (almost) every
+//! configuration; overhead stays flat or falls as processors increase
+//! for a fixed problem; redistribution is a minor share of the overhead.
+
+use pic_bench::run_overhead;
+use pic_particles::ParticleDistribution;
+
+fn main() {
+    run_overhead(
+        ParticleDistribution::Uniform,
+        "fig21_overhead_uniform.csv",
+        "Figure 21",
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 22: overhead (execution time minus computation time) of 200
+//! iterations for the irregular distribution — the harder case, where
+//! equal particle counts force particle subdomains away from their mesh
+//! blocks (paper Figure 5(c)).
+//!
+//! Shapes to reproduce: overheads exceed the uniform case; Hilbert still
+//! beats snakelike except possibly when particles-per-processor is very
+//! small (the paper calls out 32K on 128 processors).
+
+use pic_bench::run_overhead;
+use pic_particles::ParticleDistribution;
+
+fn main() {
+    run_overhead(
+        ParticleDistribution::IrregularCenter,
+        "fig22_overhead_irregular.csv",
+        "Figure 22",
+    );
+}

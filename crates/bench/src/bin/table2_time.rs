@@ -1,0 +1,69 @@
+//! Table 2: computational time (modeled seconds) of 200 iterations,
+//! {uniform, irregular} x four (mesh, particles) sizes x {Hilbert,
+//! snakelike} x {32, 64, 128} processors, dynamic redistribution.
+//!
+//! Shapes to reproduce: times roughly halve as the processor count
+//! doubles; Hilbert <= snakelike everywhere except possibly the smallest
+//! particles-per-processor case; absolute numbers land in the paper's
+//! tens-to-hundreds-of-seconds range under the CM-5 cost model.
+
+use pic_bench::{iters_from_args, paper_cfg, write_csv, TABLE2_PROCS, TABLE2_SIZES};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(200);
+    println!("Table 2: computational time of {iters} iterations (modeled s)\n");
+    println!(
+        "{:<11} {:<10} {:>8} {:<9} {:>10} {:>10} {:>10}",
+        "distrib", "mesh", "partcls", "indexing", "p=32", "p=64", "p=128"
+    );
+    let mut rows = Vec::new();
+    for dist in [
+        ParticleDistribution::Uniform,
+        ParticleDistribution::IrregularCenter,
+    ] {
+        for (nx, ny, n) in TABLE2_SIZES {
+            for scheme in [IndexScheme::Hilbert, IndexScheme::Snake] {
+                let mut times = Vec::new();
+                for p in TABLE2_PROCS {
+                    let cfg =
+                        paper_cfg(nx, ny, n, p, dist, scheme, PolicyKind::DynamicSar);
+                    let mut sim = ParallelPicSim::new(cfg);
+                    times.push(sim.run(iters).total_s);
+                }
+                println!(
+                    "{:<11} {:<10} {:>8} {:<9} {:>10.2} {:>10.2} {:>10.2}",
+                    dist.label(),
+                    format!("{nx}x{ny}"),
+                    n,
+                    scheme.label(),
+                    times[0],
+                    times[1],
+                    times[2]
+                );
+                rows.push(format!(
+                    "{},{}x{},{},{},{:.3},{:.3},{:.3}",
+                    dist.label(),
+                    nx,
+                    ny,
+                    n,
+                    scheme.label(),
+                    times[0],
+                    times[1],
+                    times[2]
+                ));
+            }
+        }
+        println!();
+    }
+    write_csv(
+        "table2_time.csv",
+        "distribution,mesh,particles,indexing,t_p32,t_p64,t_p128",
+        &rows,
+    );
+    println!("paper anchors (CM-5, measured): uniform 256x128/32768 p=32 -> 72.47 s;");
+    println!("uniform 512x256/131072 p=32 -> 292.55 s; irregular within a few % of uniform.");
+}

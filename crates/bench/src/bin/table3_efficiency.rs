@@ -1,0 +1,75 @@
+//! Table 3: efficiency of the Hilbert indexing scheme —
+//! `E = T_seq / (p * T_p)` over the Table 2 grid.
+//!
+//! Shape to reproduce: efficiency stays roughly constant when the number
+//! of particles per processor is fixed (e.g. 32K/32p vs 64K/64p), i.e.
+//! the indexing scheme scales; larger per-processor grain gives higher
+//! efficiency.
+
+use pic_bench::{
+    iters_from_args, paper_cfg, sequential_modeled_time, write_csv, TABLE2_PROCS, TABLE2_SIZES,
+};
+use pic_core::ParallelPicSim;
+use pic_index::IndexScheme;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn main() {
+    let iters = iters_from_args(200);
+    println!("Table 3: efficiency of the Hilbert indexing scheme ({iters} iterations)\n");
+    println!(
+        "{:<11} {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "distrib", "mesh", "partcls", "p=32", "p=64", "p=128"
+    );
+    let mut rows = Vec::new();
+    for dist in [
+        ParticleDistribution::Uniform,
+        ParticleDistribution::IrregularCenter,
+    ] {
+        for (nx, ny, n) in TABLE2_SIZES {
+            let mut effs = Vec::new();
+            for p in TABLE2_PROCS {
+                let cfg = paper_cfg(
+                    nx,
+                    ny,
+                    n,
+                    p,
+                    dist,
+                    IndexScheme::Hilbert,
+                    PolicyKind::DynamicSar,
+                );
+                let t_seq = sequential_modeled_time(&cfg, iters);
+                let mut sim = ParallelPicSim::new(cfg);
+                let t_p = sim.run(iters).total_s;
+                effs.push(t_seq / (p as f64 * t_p));
+            }
+            println!(
+                "{:<11} {:<10} {:>8} {:>8.3} {:>8.3} {:>8.3}",
+                dist.label(),
+                format!("{nx}x{ny}"),
+                n,
+                effs[0],
+                effs[1],
+                effs[2]
+            );
+            rows.push(format!(
+                "{},{}x{},{},{:.4},{:.4},{:.4}",
+                dist.label(),
+                nx,
+                ny,
+                n,
+                effs[0],
+                effs[1],
+                effs[2]
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "table3_efficiency.csv",
+        "distribution,mesh,particles,eff_p32,eff_p64,eff_p128",
+        &rows,
+    );
+    println!("scaling check: efficiency at (32K, p=32) should be close to (64K, p=64),");
+    println!("and (64K@512x256, p=64) close to (128K, p=128) — fixed grain per processor.");
+}

@@ -1,0 +1,114 @@
+//! Terminal line charts for the figure harnesses.
+//!
+//! The paper's Figures 17–19 are per-iteration time series; rendering
+//! them directly in the terminal makes the reproduced *shapes* (static
+//! climbing, periodic sawtooths) visible without leaving the harness.
+
+/// Render one or more series as an ASCII chart of `width x height`
+/// characters.  Series are downsampled by averaging into `width` buckets
+/// and share a common y scale; each series draws with its own glyph.
+pub fn render_chart(
+    series: &[(&str, &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 8 && height >= 2, "chart too small");
+    assert!(!series.is_empty(), "no series");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+
+    // bucket each series down to `width` points
+    let bucketed: Vec<(usize, Vec<f64>)> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (_, data))| {
+            let mut out = Vec::with_capacity(width);
+            if data.is_empty() {
+                return (si, out);
+            }
+            for b in 0..width {
+                let lo = b * data.len() / width;
+                let hi = ((b + 1) * data.len() / width).max(lo + 1).min(data.len());
+                let mean = data[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                out.push(mean);
+            }
+            (si, out)
+        })
+        .collect();
+
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (_, pts) in &bucketed {
+        for &v in pts {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() || (max - min).abs() < 1e-300 {
+        max = min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, pts) in &bucketed {
+        let glyph = glyphs[si % glyphs.len()];
+        for (x, &v) in pts.iter().enumerate() {
+            let frac = (v - min) / (max - min);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            canvas[y.min(height - 1)][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{max:>12.4}  ┐\n"));
+    for row in &canvas {
+        out.push_str("              │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{min:>12.4}  ┘\n"));
+    out.push_str("               ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{} {}   ", glyphs[si % glyphs.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rising_series_occupies_the_diagonal() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let chart = render_chart(&[("rise", &data)], 20, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // first canvas row (top) has the glyph near the right edge
+        let top = lines[1];
+        let bottom = lines[10];
+        assert!(top.rfind('*').unwrap() > bottom.rfind('*').unwrap());
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a: Vec<f64> = vec![1.0; 50];
+        let b: Vec<f64> = vec![2.0; 50];
+        let chart = render_chart(&[("a", &a), ("b", &b)], 20, 6);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("o b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let a: Vec<f64> = vec![3.0; 10];
+        let chart = render_chart(&[("flat", &a)], 10, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        render_chart(&[("x", &[1.0])], 2, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Ghost grid point tables: duplicate removal + message coalescing.
+//!
+//! "For each execution loop, the same off-processor data may be accessed
+//! multiple times, but only a single copy of that data can be fetched"
+//! (paper Section 3.2).  With ~4 particles per cell, each off-block vertex
+//! is touched by several particles; the accumulator sums contributions
+//! locally so each ghost point crosses the wire exactly once.  The paper
+//! compares two implementations (Figure 8): a **hash table** (memory
+//! proportional to the ghost set, search time per access) and a **direct
+//! address table** (memory proportional to the whole mesh, O(1) access) —
+//! both are provided and the dedup ablation bench measures the trade.
+
+use std::collections::HashMap;
+
+use pic_field::BlockLayout;
+
+use crate::config::DedupKind;
+
+/// Per-owner coalesced ghost entries: `(owner rank, [(packed vertex,
+/// [Jx, Jy, Jz])])`, owners ascending.
+pub type OwnerEntries = Vec<(usize, Vec<(u32, [f64; 3])>)>;
+
+/// Accumulates off-block vertex contributions, deduplicating by vertex.
+pub trait GhostAccumulator {
+    /// Add a contribution to the global vertex `(gx, gy)`.
+    fn add(&mut self, gx: u32, gy: u32, val: [f64; 3]);
+
+    /// Number of distinct ghost vertices accumulated.
+    fn distinct(&self) -> usize;
+
+    /// Op units charged per `add` (differs between implementations).
+    fn add_cost(&self) -> f64;
+
+    /// Drain the table into per-owner coalesced entry lists, sorted by
+    /// owner rank and, within an owner, by packed vertex index
+    /// (deterministic wire order).  The accumulator is left empty and
+    /// reusable.
+    fn drain_by_owner(&mut self, layout: &BlockLayout) -> OwnerEntries;
+}
+
+/// Hash-table deduplication.
+#[derive(Debug, Default)]
+pub struct HashTableAccumulator {
+    nx: u32,
+    table: HashMap<u32, [f64; 3]>,
+}
+
+impl HashTableAccumulator {
+    /// Accumulator for an `nx`-wide mesh (indices packed as `gy*nx+gx`).
+    pub fn new(nx: usize) -> Self {
+        Self {
+            nx: nx as u32,
+            table: HashMap::new(),
+        }
+    }
+}
+
+impl GhostAccumulator for HashTableAccumulator {
+    fn add(&mut self, gx: u32, gy: u32, val: [f64; 3]) {
+        let key = gy * self.nx + gx;
+        let e = self.table.entry(key).or_insert([0.0; 3]);
+        e[0] += val[0];
+        e[1] += val[1];
+        e[2] += val[2];
+    }
+
+    fn distinct(&self) -> usize {
+        self.table.len()
+    }
+
+    fn add_cost(&self) -> f64 {
+        crate::costs::GHOST_ADD_HASH
+    }
+
+    fn drain_by_owner(&mut self, layout: &BlockLayout) -> OwnerEntries {
+        let nx = self.nx;
+        let mut entries: Vec<(u32, [f64; 3])> = self.table.drain().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        group_by_owner(entries, nx, layout)
+    }
+}
+
+/// Direct-address-table deduplication with generation stamping, so the
+/// table is reused across iterations without clearing (the memory-for-time
+/// trade the paper describes, plus the standard generation trick to avoid
+/// the O(m) clear).
+#[derive(Debug)]
+pub struct DirectTableAccumulator {
+    nx: u32,
+    /// Per-vertex generation stamp; a stale stamp means "empty".
+    stamp: Vec<u32>,
+    /// Per-vertex slot into `dense` when the stamp is current.
+    slot: Vec<u32>,
+    /// Densely packed live entries.
+    dense: Vec<(u32, [f64; 3])>,
+    generation: u32,
+}
+
+impl DirectTableAccumulator {
+    /// Accumulator over the whole `nx x ny` vertex grid.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        let m = nx * ny;
+        Self {
+            nx: nx as u32,
+            stamp: vec![0; m],
+            slot: vec![0; m],
+            dense: Vec::new(),
+            generation: 1,
+        }
+    }
+}
+
+impl GhostAccumulator for DirectTableAccumulator {
+    fn add(&mut self, gx: u32, gy: u32, val: [f64; 3]) {
+        let key = (gy * self.nx + gx) as usize;
+        if self.stamp[key] == self.generation {
+            let e = &mut self.dense[self.slot[key] as usize].1;
+            e[0] += val[0];
+            e[1] += val[1];
+            e[2] += val[2];
+        } else {
+            self.stamp[key] = self.generation;
+            self.slot[key] = self.dense.len() as u32;
+            self.dense.push((key as u32, val));
+        }
+    }
+
+    fn distinct(&self) -> usize {
+        self.dense.len()
+    }
+
+    fn add_cost(&self) -> f64 {
+        crate::costs::GHOST_ADD_DIRECT
+    }
+
+    fn drain_by_owner(&mut self, layout: &BlockLayout) -> OwnerEntries {
+        let nx = self.nx;
+        let mut entries = std::mem::take(&mut self.dense);
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // stamp wrap-around: reset to a clean state
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        group_by_owner(entries, nx, layout)
+    }
+}
+
+/// Group packed-index entries by owning rank, owners ascending.
+fn group_by_owner(
+    entries: Vec<(u32, [f64; 3])>,
+    nx: u32,
+    layout: &BlockLayout,
+) -> OwnerEntries {
+    let mut by_owner: Vec<(usize, u32, [f64; 3])> = entries
+        .into_iter()
+        .map(|(k, v)| {
+            let (gx, gy) = ((k % nx) as usize, (k / nx) as usize);
+            (layout.owner_of(gx, gy), k, v)
+        })
+        .collect();
+    by_owner.sort_unstable_by_key(|&(o, k, _)| (o, k));
+    let mut out: OwnerEntries = Vec::new();
+    for (owner, k, v) in by_owner {
+        match out.last_mut() {
+            Some((o, list)) if *o == owner => list.push((k, v)),
+            _ => out.push((owner, vec![(k, v)])),
+        }
+    }
+    out
+}
+
+/// Build the configured accumulator.
+pub fn make_accumulator(kind: DedupKind, nx: usize, ny: usize) -> Box<dyn GhostAccumulator + Send> {
+    match kind {
+        DedupKind::Hash => Box::new(HashTableAccumulator::new(nx)),
+        DedupKind::Direct => Box::new(DirectTableAccumulator::new(nx, ny)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> BlockLayout {
+        BlockLayout::new_2d(8, 8, 2, 2) // 4 ranks, 4x4 blocks
+    }
+
+    fn accumulate(acc: &mut dyn GhostAccumulator) {
+        // three adds to the same vertex (1,1) -> rank 0, one to (5,5) -> rank 3
+        acc.add(1, 1, [1.0, 0.0, 0.0]);
+        acc.add(1, 1, [2.0, 0.5, 0.0]);
+        acc.add(1, 1, [3.0, 0.0, 0.25]);
+        acc.add(5, 5, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn hash_table_deduplicates() {
+        let mut acc = HashTableAccumulator::new(8);
+        accumulate(&mut acc);
+        assert_eq!(acc.distinct(), 2);
+        let drained = acc.drain_by_owner(&layout());
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 0);
+        assert_eq!(drained[0].1, vec![(9, [6.0, 0.5, 0.25])]);
+        assert_eq!(drained[1].0, 3);
+    }
+
+    #[test]
+    fn direct_table_matches_hash_table() {
+        let mut hash = HashTableAccumulator::new(8);
+        let mut direct = DirectTableAccumulator::new(8, 8);
+        accumulate(&mut hash);
+        accumulate(&mut direct);
+        assert_eq!(
+            hash.drain_by_owner(&layout()),
+            direct.drain_by_owner(&layout())
+        );
+    }
+
+    #[test]
+    fn direct_table_is_reusable_across_drains() {
+        let mut acc = DirectTableAccumulator::new(8, 8);
+        accumulate(&mut acc);
+        let first = acc.drain_by_owner(&layout());
+        assert_eq!(acc.distinct(), 0);
+        accumulate(&mut acc);
+        let second = acc.drain_by_owner(&layout());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn hash_table_is_reusable_across_drains() {
+        let mut acc = HashTableAccumulator::new(8);
+        accumulate(&mut acc);
+        let first = acc.drain_by_owner(&layout());
+        accumulate(&mut acc);
+        assert_eq!(first, acc.drain_by_owner(&layout()));
+    }
+
+    #[test]
+    fn entries_are_sorted_within_owner() {
+        let mut acc = HashTableAccumulator::new(8);
+        acc.add(3, 0, [1.0; 3]);
+        acc.add(0, 0, [1.0; 3]);
+        acc.add(2, 1, [1.0; 3]);
+        let drained = acc.drain_by_owner(&layout());
+        let keys: Vec<u32> = drained[0].1.iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![0, 3, 10]);
+    }
+
+    #[test]
+    fn costs_reflect_the_papers_trade() {
+
+        let hash = HashTableAccumulator::new(8);
+        let direct = DirectTableAccumulator::new(8, 8);
+        assert!(direct.add_cost() < hash.add_cost());
+    }
+
+    #[test]
+    fn factory_builds_both_kinds() {
+        let mut h = make_accumulator(DedupKind::Hash, 8, 8);
+        let mut d = make_accumulator(DedupKind::Direct, 8, 8);
+        h.add(0, 0, [1.0; 3]);
+        d.add(0, 0, [1.0; 3]);
+        assert_eq!(h.distinct(), 1);
+        assert_eq!(d.distinct(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Typed, byte-accounted message payloads of the PIC phases.
+//!
+//! Wire sizes model what the 1996 code would pack into CMMD messages:
+//! 4-byte packed grid indices, 8-byte doubles — see [`crate::costs`].
+
+use pic_machine::Payload;
+
+use crate::costs::{GHOST_CURRENT_BYTES, GHOST_FIELD_BYTES, PARTICLE_MSG_BYTES};
+
+/// Scatter-phase ghost contributions: `(packed vertex index, [Jx, Jy, Jz])`
+/// per off-block grid point, coalesced into one message per destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostCurrents(pub Vec<(u32, [f64; 3])>);
+
+impl Payload for GhostCurrents {
+    fn size_bytes(&self) -> usize {
+        self.0.len() * GHOST_CURRENT_BYTES
+    }
+}
+
+/// Gather-phase replies: `(packed vertex index, [Ex, Ey, Ez, Bx, By, Bz])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostFields(pub Vec<(u32, [f64; 6])>);
+
+impl Payload for GhostFields {
+    fn size_bytes(&self) -> usize {
+        self.0.len() * GHOST_FIELD_BYTES
+    }
+}
+
+/// Field-solve halo data: three components per boundary cell, packed in
+/// the plan's deterministic cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloData(pub Vec<f64>);
+
+impl Payload for HaloData {
+    fn size_bytes(&self) -> usize {
+        self.0.len() * 8
+    }
+}
+
+/// A batch of migrating particles: curve keys plus five phase-space
+/// doubles each, in sorted key order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParticleBatch {
+    /// Curve keys, ascending.
+    pub keys: Vec<u64>,
+    /// Phase space, five doubles per particle: x, y, ux, uy, uz.
+    pub data: Vec<f64>,
+}
+
+impl ParticleBatch {
+    /// Number of particles in the batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Append one particle.
+    pub fn push(&mut self, key: u64, coords: [f64; 5]) {
+        self.keys.push(key);
+        self.data.extend_from_slice(&coords);
+    }
+
+    /// The `i`-th particle's phase-space coordinates.
+    pub fn coords(&self, i: usize) -> [f64; 5] {
+        let o = i * 5;
+        [
+            self.data[o],
+            self.data[o + 1],
+            self.data[o + 2],
+            self.data[o + 3],
+            self.data[o + 4],
+        ]
+    }
+}
+
+impl Payload for ParticleBatch {
+    fn size_bytes(&self) -> usize {
+        self.keys.len() * PARTICLE_MSG_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_current_wire_size() {
+        let m = GhostCurrents(vec![(0, [0.0; 3]); 10]);
+        assert_eq!(m.size_bytes(), 280);
+    }
+
+    #[test]
+    fn ghost_field_wire_size() {
+        let m = GhostFields(vec![(0, [0.0; 6]); 10]);
+        assert_eq!(m.size_bytes(), 520);
+    }
+
+    #[test]
+    fn particle_batch_roundtrip() {
+        let mut b = ParticleBatch::default();
+        b.push(42, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        b.push(43, [6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.coords(1), [6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(b.size_bytes(), 2 * 48);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        assert_eq!(ParticleBatch::default().size_bytes(), 0);
+        assert!(ParticleBatch::default().is_empty());
+    }
+}

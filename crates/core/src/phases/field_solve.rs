@@ -1,0 +1,152 @@
+//! Field solve phase: two halo exchanges and the B/E updates.
+//!
+//! Paper Section 4: "a finite difference method is used to solve
+//! Maxwell's equations on the mesh grids, each grid point needs data from
+//! its four neighboring grid points.  Only the grid points on the
+//! boundaries of the submesh in a processor will access data from the
+//! neighboring processors."  We run two supersteps:
+//!
+//! 1. exchange E ghosts, update B on the interior;
+//! 2. exchange B ghosts, update E on the interior (with the scatter
+//!    phase's current densities as source terms).
+
+use pic_field::Grid2;
+use pic_machine::{Machine, Outbox, PhaseKind};
+
+use crate::costs;
+use crate::messages::HaloData;
+use crate::phases::PhaseEnv;
+use crate::state::RankState;
+
+/// Pack three field components of the plan's cells in order.
+fn pack(
+    grids: [&Grid2<f64>; 3],
+    rect: &pic_field::Rect,
+    cells: &[pic_field::CellSlot],
+) -> Vec<f64> {
+    let mut data = Vec::with_capacity(cells.len() * 3);
+    for &((sx, sy), _) in cells {
+        let (lx, ly) = (sx - rect.x0 + 1, sy - rect.y0 + 1);
+        for g in grids {
+            data.push(g[(lx, ly)]);
+        }
+    }
+    data
+}
+
+/// Unpack three field components into the plan's padded slots.
+fn unpack(
+    grids: [&mut Grid2<f64>; 3],
+    cells: &[pic_field::CellSlot],
+    data: &[f64],
+) {
+    debug_assert_eq!(data.len(), cells.len() * 3);
+    let [g0, g1, g2] = grids;
+    for (k, &(_, (px, py))) in cells.iter().enumerate() {
+        g0[(px, py)] = data[3 * k];
+        g1[(px, py)] = data[3 * k + 1];
+        g2[(px, py)] = data[3 * k + 2];
+    }
+}
+
+/// Copy self-wrap ghost slots from the rank's own interior.
+fn self_fill(
+    st: &mut RankState,
+    halo: &pic_field::HaloPlan,
+    which: Which,
+) {
+    let copies = halo.self_copies(st.rank);
+    for &((sx, sy), (px, py)) in copies {
+        let (lx, ly) = (sx - st.rect.x0 + 1, sy - st.rect.y0 + 1);
+        match which {
+            Which::E => {
+                let v = (st.fields.ex[(lx, ly)], st.fields.ey[(lx, ly)], st.fields.ez[(lx, ly)]);
+                st.fields.ex[(px, py)] = v.0;
+                st.fields.ey[(px, py)] = v.1;
+                st.fields.ez[(px, py)] = v.2;
+            }
+            Which::B => {
+                let v = (st.fields.bx[(lx, ly)], st.fields.by[(lx, ly)], st.fields.bz[(lx, ly)]);
+                st.fields.bx[(px, py)] = v.0;
+                st.fields.by[(px, py)] = v.1;
+                st.fields.bz[(px, py)] = v.2;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    E,
+    B,
+}
+
+/// Run the field solve: exchange E → update B, exchange B → update E.
+pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+    let halo = env.halo;
+    let solver = *env.solver;
+
+    // superstep 1: E ghosts out, B update on delivery
+    machine.superstep(
+        PhaseKind::FieldSolve,
+        move |r, st, ctx, ob: &mut Outbox<HaloData>| {
+            for msg in halo.sends(r) {
+                ctx.charge_ops(msg.cells.len() as f64 * costs::HALO_CELL);
+                let data = pack(
+                    [&st.fields.ex, &st.fields.ey, &st.fields.ez],
+                    &st.rect,
+                    &msg.cells,
+                );
+                ob.send(msg.to, HaloData(data));
+            }
+        },
+        move |r, st, ctx, inbox| {
+            for (from, HaloData(data)) in inbox {
+                let cells = &halo
+                    .sends(from)
+                    .iter()
+                    .find(|m| m.to == r)
+                    .expect("halo message without plan entry")
+                    .cells;
+                ctx.charge_ops(cells.len() as f64 * costs::HALO_CELL);
+                let f = &mut st.fields;
+                unpack([&mut f.ex, &mut f.ey, &mut f.ez], cells, &data);
+            }
+            self_fill(st, halo, Which::E);
+            solver.update_b_padded(&mut st.fields);
+            ctx.charge_ops(st.rect.area() as f64 * costs::FIELD_POINT_B);
+        },
+    );
+
+    // superstep 2: B ghosts out, E update on delivery
+    machine.superstep(
+        PhaseKind::FieldSolve,
+        move |r, st, ctx, ob: &mut Outbox<HaloData>| {
+            for msg in halo.sends(r) {
+                ctx.charge_ops(msg.cells.len() as f64 * costs::HALO_CELL);
+                let data = pack(
+                    [&st.fields.bx, &st.fields.by, &st.fields.bz],
+                    &st.rect,
+                    &msg.cells,
+                );
+                ob.send(msg.to, HaloData(data));
+            }
+        },
+        move |r, st, ctx, inbox| {
+            for (from, HaloData(data)) in inbox {
+                let cells = &halo
+                    .sends(from)
+                    .iter()
+                    .find(|m| m.to == r)
+                    .expect("halo message without plan entry")
+                    .cells;
+                ctx.charge_ops(cells.len() as f64 * costs::HALO_CELL);
+                let f = &mut st.fields;
+                unpack([&mut f.bx, &mut f.by, &mut f.bz], cells, &data);
+            }
+            self_fill(st, halo, Which::B);
+            solver.update_e_padded(&mut st.fields, &st.currents);
+            ctx.charge_ops(st.rect.area() as f64 * costs::FIELD_POINT_E);
+        },
+    );
+}

@@ -1,0 +1,83 @@
+//! Gather phase: ghost field replies and per-particle interpolation.
+//!
+//! "The same ghost grid points generated in the scatter phase are used
+//! here to carry the necessary off-processor field data.  The
+//! communication behavior is just the inverse of the scatter phase,
+//! except that two fields, E and B, instead of one are the objects to be
+//! transferred" (paper Section 4).  Owners *push* field values along the
+//! `ghost_serving` lists recorded during scatter delivery, so no request
+//! round-trip is needed; the delivery half interpolates E and B at every
+//! particle.
+
+use std::collections::HashMap;
+
+use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_particles::Cic;
+
+use crate::costs;
+use crate::messages::GhostFields;
+use crate::phases::PhaseEnv;
+use crate::state::RankState;
+
+/// Run one gather superstep.
+pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+    let (nx, ny) = (env.cfg.nx, env.cfg.ny);
+    let (dx, dy) = (env.cfg.dx, env.cfg.dy);
+    machine.superstep(
+        PhaseKind::Gather,
+        move |_r, st, ctx, ob: &mut Outbox<GhostFields>| {
+            let nxu = nx as u32;
+            for (requester, keys) in &st.ghost_serving {
+                ctx.charge_ops(keys.len() as f64 * costs::GHOST_APPLY);
+                let entries: Vec<(u32, [f64; 6])> = keys
+                    .iter()
+                    .map(|&key| {
+                        let (gx, gy) = ((key % nxu) as usize, (key / nxu) as usize);
+                        let (lx, ly) = (gx - st.rect.x0 + 1, gy - st.rect.y0 + 1);
+                        (key, st.fields.at(lx, ly))
+                    })
+                    .collect();
+                ob.send(*requester, GhostFields(entries));
+            }
+        },
+        move |_r, st, ctx, inbox| {
+            let nxu = nx as u32;
+            let mut cache: HashMap<u32, [f64; 6]> = HashMap::new();
+            for (_, GhostFields(entries)) in inbox {
+                cache.reserve(entries.len());
+                for (k, v) in entries {
+                    cache.insert(k, v);
+                }
+            }
+            let n = st.particles.len();
+            st.e_at.clear();
+            st.b_at.clear();
+            st.e_at.reserve(n);
+            st.b_at.reserve(n);
+            for i in 0..n {
+                let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
+                ctx.charge_ops(4.0 * costs::GATHER_VERTEX);
+                let mut e = [0.0f64; 3];
+                let mut b = [0.0f64; 3];
+                for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
+                    let w = cic.w[k];
+                    let vals = if st.rect.contains(cx, cy) {
+                        let (lx, ly) = (cx - st.rect.x0 + 1, cy - st.rect.y0 + 1);
+                        st.fields.at(lx, ly)
+                    } else {
+                        let key = cy as u32 * nxu + cx as u32;
+                        *cache
+                            .get(&key)
+                            .expect("gather: ghost vertex missing from scatter round")
+                    };
+                    for c in 0..3 {
+                        e[c] += w * vals[c];
+                        b[c] += w * vals[3 + c];
+                    }
+                }
+                st.e_at.push(e);
+                st.b_at.push(b);
+            }
+        },
+    );
+}

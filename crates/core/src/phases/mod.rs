@@ -1,0 +1,26 @@
+//! The four PIC phases plus redistribution, each as machine supersteps.
+
+pub mod field_solve;
+pub mod gather;
+pub mod push;
+pub mod redistribute;
+pub mod scatter;
+
+use pic_field::{BlockLayout, HaloPlan, MaxwellSolver};
+use pic_index::CellIndexer;
+
+use crate::config::SimConfig;
+
+/// Shared immutable context every phase needs.
+pub struct PhaseEnv<'a> {
+    /// Run configuration.
+    pub cfg: &'a SimConfig,
+    /// Mesh BLOCK layout (SFC-ordered block→rank map).
+    pub layout: &'a BlockLayout,
+    /// Halo exchange plan for the field solve.
+    pub halo: &'a HaloPlan,
+    /// Cell indexer shared by mesh, processor and particle indexing.
+    pub indexer: &'a dyn CellIndexer,
+    /// Field stepper.
+    pub solver: &'a MaxwellSolver,
+}

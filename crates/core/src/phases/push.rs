@@ -1,0 +1,87 @@
+//! Push phase: the relativistic Boris update, plus Eulerian migration.
+//!
+//! Under the direct Lagrangian method "the push phase has no
+//! interprocessor communication cost" (paper Section 4) — it is a pure
+//! local step.  Under the direct Eulerian baseline (paper Table 1, grid
+//! partitioning), particles must migrate to the rank owning their new
+//! cell immediately after the move, which is implemented as an extra
+//! superstep.
+
+use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_particles::push::{boris_push, gamma_of, BorisStep};
+use pic_particles::wrap_periodic;
+
+use crate::config::MovementMethod;
+use crate::costs;
+use crate::messages::ParticleBatch;
+use crate::phases::PhaseEnv;
+use crate::state::RankState;
+
+/// Run the push phase (and Eulerian migration when configured).
+pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+    let dt = env.cfg.dt;
+    let (lx, ly) = (env.cfg.lx(), env.cfg.ly());
+    machine.local_step(PhaseKind::Push, move |_r, st, ctx| {
+        let qm = st.particles.qm();
+        let n = st.particles.len();
+        debug_assert_eq!(st.e_at.len(), n, "gather must precede push");
+        for i in 0..n {
+            let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
+            let fields = BorisStep { e: st.e_at[i], b: st.b_at[i] };
+            let u2 = boris_push(u, &fields, qm, dt);
+            let gamma = gamma_of(u2);
+            st.particles.ux[i] = u2[0];
+            st.particles.uy[i] = u2[1];
+            st.particles.uz[i] = u2[2];
+            st.particles.x[i] = wrap_periodic(st.particles.x[i] + u2[0] / gamma * dt, lx);
+            st.particles.y[i] = wrap_periodic(st.particles.y[i] + u2[1] / gamma * dt, ly);
+        }
+        ctx.charge_ops(n as f64 * costs::PUSH_PARTICLE);
+    });
+
+    if env.cfg.movement == MovementMethod::Eulerian {
+        migrate_eulerian(machine, env);
+    }
+}
+
+/// Eulerian migration: every particle moves to the rank that owns its
+/// cell.  No sorting, no alignment — the communication each step is the
+/// price Table 1 attributes to keeping particle storage grid-partitioned.
+fn migrate_eulerian(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+    let (nx, ny) = (env.cfg.nx, env.cfg.ny);
+    let (dx, dy) = (env.cfg.dx, env.cfg.dy);
+    let layout = env.layout;
+    machine.superstep(
+        PhaseKind::Push,
+        move |_r, st, ctx, ob: &mut Outbox<ParticleBatch>| {
+            let n = st.particles.len();
+            // keys are unused in Eulerian mode but `take_outgoing`
+            // transports them; keep the array sized
+            st.keys.resize(n, 0);
+            let dests: Vec<usize> = (0..n)
+                .map(|i| {
+                    let (cx, cy) = pic_partition::cell_of(
+                        st.particles.x[i],
+                        st.particles.y[i],
+                        dx,
+                        dy,
+                        nx,
+                        ny,
+                    );
+                    layout.owner_of(cx, cy)
+                })
+                .collect();
+            ctx.charge_ops(n as f64 * costs::CLASSIFY_STEP);
+            for (dest, batch) in st.take_outgoing(&dests) {
+                ctx.charge_ops(batch.len() as f64 * costs::PACK_PARTICLE);
+                ob.send(dest, batch);
+            }
+        },
+        move |_r, st, ctx, inbox| {
+            for (_, batch) in inbox {
+                ctx.charge_ops(batch.len() as f64 * costs::PACK_PARTICLE);
+                st.append_batch(&batch);
+            }
+        },
+    );
+}

@@ -1,0 +1,74 @@
+//! Scatter phase: current deposition with ghost tables and coalescing.
+//!
+//! Paper Figure 3 (`Scatter()`): each particle adds `weight * charge`
+//! contributions to its four vertex grid points.  Contributions to
+//! vertices inside the rank's own block go straight into the local
+//! current grids; off-block contributions are deduplicated in the ghost
+//! table and coalesced into a single message per owning rank.  The
+//! delivery half applies incoming ghost contributions and records who
+//! sent which vertices (`ghost_serving`) — the gather phase answers along
+//! exactly those lists.
+
+use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_particles::push::gamma_of;
+use pic_particles::Cic;
+
+use crate::costs;
+use crate::messages::GhostCurrents;
+use crate::phases::PhaseEnv;
+use crate::state::RankState;
+
+/// Run one scatter superstep.
+pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+    let (nx, ny) = (env.cfg.nx, env.cfg.ny);
+    let (dx, dy) = (env.cfg.dx, env.cfg.dy);
+    let layout = env.layout;
+    machine.superstep(
+        PhaseKind::Scatter,
+        move |_r, st, ctx, ob: &mut Outbox<GhostCurrents>| {
+            st.currents.clear();
+            st.ghost_serving.clear();
+            let q = st.particles.charge;
+            let ghost_cost = st.ghost.add_cost();
+            for i in 0..st.particles.len() {
+                let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
+                let gamma = gamma_of(u);
+                let v = [u[0] / gamma, u[1] / gamma, u[2] / gamma];
+                let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
+                ctx.charge_ops(4.0 * costs::SCATTER_VERTEX);
+                for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
+                    let w = cic.w[k];
+                    let val = [q * v[0] * w, q * v[1] * w, q * v[2] * w];
+                    if st.rect.contains(cx, cy) {
+                        let (lx, ly) = (cx - st.rect.x0, cy - st.rect.y0);
+                        st.currents.jx[(lx, ly)] += val[0];
+                        st.currents.jy[(lx, ly)] += val[1];
+                        st.currents.jz[(lx, ly)] += val[2];
+                    } else {
+                        st.ghost.add(cx as u32, cy as u32, val);
+                        ctx.charge_ops(ghost_cost);
+                    }
+                }
+            }
+            for (owner, entries) in st.ghost.drain_by_owner(layout) {
+                ctx.charge_ops(entries.len() as f64 * costs::GHOST_APPLY);
+                ob.send(owner, GhostCurrents(entries));
+            }
+        },
+        move |_r, st, ctx, inbox| {
+            let nxu = nx as u32;
+            for (from, GhostCurrents(entries)) in inbox {
+                ctx.charge_ops(entries.len() as f64 * costs::GHOST_APPLY);
+                st.ghost_serving
+                    .push((from, entries.iter().map(|e| e.0).collect()));
+                for (key, val) in entries {
+                    let (gx, gy) = ((key % nxu) as usize, (key / nxu) as usize);
+                    let (lx, ly) = (gx - st.rect.x0, gy - st.rect.y0);
+                    st.currents.jx[(lx, ly)] += val[0];
+                    st.currents.jy[(lx, ly)] += val[1];
+                    st.currents.jz[(lx, ly)] += val[2];
+                }
+            }
+        },
+    );
+}

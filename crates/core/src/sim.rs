@@ -1,0 +1,383 @@
+//! The parallel PIC simulation driver.
+
+use pic_field::{HaloPlan, MaxwellSolver};
+use pic_index::CellIndexer;
+use pic_machine::{Machine, PhaseKind, StatsLog, SuperstepStats};
+use pic_partition::{sfc_block_layout, RedistributionPolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MovementMethod, SimConfig};
+use crate::diagnostics::EnergyReport;
+use crate::phases::{self, PhaseEnv};
+use crate::state::RankState;
+
+/// Modeled time spent per phase, accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Scatter phase seconds.
+    pub scatter_s: f64,
+    /// Field solve seconds.
+    pub field_solve_s: f64,
+    /// Gather phase seconds.
+    pub gather_s: f64,
+    /// Push phase seconds (includes Eulerian migration when enabled).
+    pub push_s: f64,
+    /// Redistribution seconds (including the initial distribution).
+    pub redistribute_s: f64,
+}
+
+impl PhaseBreakdown {
+    /// Component-wise difference (`self - earlier`), used to report
+    /// per-run deltas from cumulative counters.
+    fn since(&self, earlier: &PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            scatter_s: self.scatter_s - earlier.scatter_s,
+            field_solve_s: self.field_solve_s - earlier.field_solve_s,
+            gather_s: self.gather_s - earlier.gather_s,
+            push_s: self.push_s - earlier.push_s,
+            redistribute_s: self.redistribute_s - earlier.redistribute_s,
+        }
+    }
+
+    fn absorb(&mut self, records: &[SuperstepStats]) {
+        for r in records {
+            let slot = match r.phase {
+                PhaseKind::Scatter => &mut self.scatter_s,
+                PhaseKind::FieldSolve => &mut self.field_solve_s,
+                PhaseKind::Gather => &mut self.gather_s,
+                PhaseKind::Push => &mut self.push_s,
+                PhaseKind::Redistribute | PhaseKind::Setup => &mut self.redistribute_s,
+                PhaseKind::Other => continue,
+            };
+            *slot += r.elapsed_s;
+        }
+    }
+}
+
+/// One iteration's measurements — the rows behind Figures 17, 18 and 19.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration number (1-based).
+    pub iter: usize,
+    /// Modeled execution time of the four phases (excludes any
+    /// redistribution this iteration triggered).
+    pub time_s: f64,
+    /// Modeled computation component (max over ranks, summed per phase).
+    pub compute_s: f64,
+    /// Modeled communication + idle component.
+    pub comm_s: f64,
+    /// Maximum bytes any rank sent in the scatter phase (Figure 18).
+    pub scatter_max_bytes_sent: u64,
+    /// Maximum bytes any rank received in the scatter phase.
+    pub scatter_max_bytes_recv: u64,
+    /// Maximum messages any rank sent in the scatter phase (Figure 19).
+    pub scatter_max_msgs_sent: u64,
+    /// Maximum messages any rank received in the scatter phase.
+    pub scatter_max_msgs_recv: u64,
+    /// Whether a redistribution ran after this iteration.
+    pub redistributed: bool,
+    /// Modeled cost of that redistribution (0 when none ran).
+    pub redistribute_s: f64,
+    /// Largest per-rank particle count at the end of the iteration.
+    pub max_particles: usize,
+    /// Smallest per-rank particle count.
+    pub min_particles: usize,
+}
+
+/// Summary of a full run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Total modeled time including redistributions and setup.
+    pub total_s: f64,
+    /// Total modeled computation time.
+    pub compute_s: f64,
+    /// `total - compute`: the "overhead" of paper Figures 21/22
+    /// (communication in scatter/solve/gather plus redistribution).
+    pub overhead_s: f64,
+    /// Number of redistributions performed (excluding the initial
+    /// distribution).
+    pub redistributions: usize,
+    /// Total modeled redistribution time (excluding setup).
+    pub redistribute_total_s: f64,
+    /// Modeled cost of the initial distribution.
+    pub setup_s: f64,
+    /// Per-phase time split.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// The parallel PIC simulation on the virtual machine.
+pub struct ParallelPicSim {
+    cfg: SimConfig,
+    machine: Machine<RankState>,
+    layout: pic_field::BlockLayout,
+    halo: HaloPlan,
+    indexer: Box<dyn CellIndexer>,
+    solver: MaxwellSolver,
+    policy: Box<dyn RedistributionPolicy>,
+    iter: usize,
+    setup_s: f64,
+    redistributions: usize,
+    redistribute_total_s: f64,
+    breakdown: PhaseBreakdown,
+    // snapshots of the cumulative counters at the end of the previous
+    // `run()` call, so each report covers exactly one call
+    consumed_s: f64,
+    breakdown_consumed: PhaseBreakdown,
+    redistributions_consumed: usize,
+    redistribute_s_consumed: f64,
+}
+
+impl ParallelPicSim {
+    /// Build the simulation: decompose the mesh, load and distribute the
+    /// particles, and seed the redistribution policy with the initial
+    /// distribution's cost.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate();
+        let p = cfg.machine.ranks;
+        let layout = sfc_block_layout(cfg.nx, cfg.ny, p, cfg.scheme);
+        let halo = HaloPlan::build(&layout);
+        let indexer = cfg.scheme.build(cfg.nx, cfg.ny);
+        let solver = MaxwellSolver::new(cfg.dt, cfg.dx, cfg.dy);
+        let mut policy = cfg.policy.build();
+
+        // load the global particle population deterministically, then
+        // hand contiguous chunks to ranks (as if read from a shared file)
+        let global = cfg
+            .distribution
+            .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
+        let states: Vec<RankState> = (0..p)
+            .map(|r| {
+                let mut st = RankState::new(r, layout.local_rect(r), &cfg);
+                let lo = r * cfg.particles / p;
+                let hi = (r + 1) * cfg.particles / p;
+                st.particles.reserve(hi - lo);
+                for i in lo..hi {
+                    let c = global.get(i);
+                    st.particles.push(c[0], c[1], c[2], c[3], c[4]);
+                }
+                st
+            })
+            .collect();
+
+        let machine = Machine::new(cfg.machine, cfg.exec_mode(), states);
+        let mut sim = Self {
+            cfg,
+            machine,
+            layout,
+            halo,
+            indexer,
+            solver,
+            policy: pic_partition::PolicyKind::Static.build(), // placeholder
+            iter: 0,
+            setup_s: 0.0,
+            redistributions: 0,
+            redistribute_total_s: 0.0,
+            breakdown: PhaseBreakdown::default(),
+            consumed_s: 0.0,
+            breakdown_consumed: PhaseBreakdown::default(),
+            redistributions_consumed: 0,
+            redistribute_s_consumed: 0.0,
+        };
+
+        // initial distribution (also under Eulerian: a one-time spatial
+        // assignment so particles start on their owning ranks)
+        let env = PhaseEnv {
+            cfg: &sim.cfg,
+            layout: &sim.layout,
+            halo: &sim.halo,
+            indexer: sim.indexer.as_ref(),
+            solver: &sim.solver,
+        };
+        let cost = phases::redistribute::run(&mut sim.machine, &env, true);
+        sim.setup_s = cost;
+        policy.notify_redistributed(0, cost);
+        sim.policy = policy;
+        sim.breakdown.absorb(&sim.machine.stats_mut().drain());
+        sim
+    }
+
+    /// Run one iteration (scatter → field solve → gather → push, then the
+    /// redistribution policy).
+    pub fn step(&mut self) -> IterationRecord {
+        self.iter += 1;
+        {
+            let env = PhaseEnv {
+                cfg: &self.cfg,
+                layout: &self.layout,
+                halo: &self.halo,
+                indexer: self.indexer.as_ref(),
+                solver: &self.solver,
+            };
+            phases::scatter::run(&mut self.machine, &env);
+            phases::field_solve::run(&mut self.machine, &env);
+            phases::gather::run(&mut self.machine, &env);
+            phases::push::run(&mut self.machine, &env);
+        }
+        let records = self.machine.stats_mut().drain();
+        self.breakdown.absorb(&records);
+        let time_s: f64 = records.iter().map(|r| r.elapsed_s).sum();
+        let compute_s: f64 = records.iter().map(|r| r.max_compute_s).sum();
+        let scatter = records
+            .iter()
+            .find(|r| r.phase == PhaseKind::Scatter)
+            .copied()
+            .unwrap_or_else(|| SuperstepStats::empty(PhaseKind::Scatter));
+
+        // redistribution decision (Lagrangian only)
+        let mut redistributed = false;
+        let mut redistribute_s = 0.0;
+        if self.cfg.movement == MovementMethod::Lagrangian
+            && self.policy.should_redistribute(self.iter, time_s)
+        {
+            let env = PhaseEnv {
+                cfg: &self.cfg,
+                layout: &self.layout,
+                halo: &self.halo,
+                indexer: self.indexer.as_ref(),
+                solver: &self.solver,
+            };
+            redistribute_s = phases::redistribute::run(&mut self.machine, &env, false);
+            self.policy.notify_redistributed(self.iter, redistribute_s);
+            self.redistributions += 1;
+            self.redistribute_total_s += redistribute_s;
+            redistributed = true;
+            self.breakdown.absorb(&self.machine.stats_mut().drain());
+        }
+
+        let counts: Vec<usize> = self.machine.ranks().iter().map(RankState::len).collect();
+        IterationRecord {
+            iter: self.iter,
+            time_s,
+            compute_s,
+            comm_s: time_s - compute_s,
+            scatter_max_bytes_sent: scatter.max_bytes_sent,
+            scatter_max_bytes_recv: scatter.max_bytes_recv,
+            scatter_max_msgs_sent: scatter.max_msgs_sent,
+            scatter_max_msgs_recv: scatter.max_msgs_recv,
+            redistributed,
+            redistribute_s,
+            max_particles: counts.iter().copied().max().unwrap_or(0),
+            min_particles: counts.iter().copied().min().unwrap_or(0),
+        }
+    }
+
+    /// Run `iterations` steps and summarize **this call**: totals,
+    /// breakdown and redistribution counts cover only the iterations run
+    /// here (plus, on the first call, the initial distribution), so
+    /// repeated `run()` calls each return a self-consistent report.
+    pub fn run(&mut self, iterations: usize) -> SimReport {
+        let elapsed_before = self.consumed_s;
+        let breakdown_before = self.breakdown_consumed;
+        let redists_before = self.redistributions_consumed;
+        let redist_s_before = self.redistribute_s_consumed;
+
+        let records: Vec<IterationRecord> = (0..iterations).map(|_| self.step()).collect();
+
+        let compute_s: f64 = records.iter().map(|r| r.compute_s).sum();
+        let end = self.machine.elapsed_s();
+        let total_s = end - elapsed_before;
+        self.consumed_s = end;
+        self.breakdown_consumed = self.breakdown;
+        self.redistributions_consumed = self.redistributions;
+        self.redistribute_s_consumed = self.redistribute_total_s;
+        SimReport {
+            total_s,
+            compute_s,
+            overhead_s: total_s - compute_s,
+            redistributions: self.redistributions - redists_before,
+            redistribute_total_s: self.redistribute_total_s - redist_s_before,
+            setup_s: self.setup_s,
+            breakdown: self.breakdown.since(&breakdown_before),
+            iterations: records,
+        }
+    }
+
+    /// Force a redistribution now, regardless of policy.  Returns its
+    /// modeled cost.
+    pub fn redistribute_now(&mut self) -> f64 {
+        let env = PhaseEnv {
+            cfg: &self.cfg,
+            layout: &self.layout,
+            halo: &self.halo,
+            indexer: self.indexer.as_ref(),
+            solver: &self.solver,
+        };
+        let cost = phases::redistribute::run(&mut self.machine, &env, false);
+        self.policy.notify_redistributed(self.iter, cost);
+        self.redistributions += 1;
+        self.redistribute_total_s += cost;
+        self.breakdown.absorb(&self.machine.stats_mut().drain());
+        cost
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The underlying virtual machine (read access for diagnostics).
+    pub fn machine(&self) -> &Machine<RankState> {
+        &self.machine
+    }
+
+    /// Mutable access to the rank states, for tests and experiment setups
+    /// that hand-place particles or pre-set fields.  Mutations here are
+    /// not charged to any clock.
+    pub fn ranks_mut(&mut self) -> &mut [RankState] {
+        self.machine.ranks_mut()
+    }
+
+    /// The mesh layout.
+    pub fn layout(&self) -> &pic_field::BlockLayout {
+        &self.layout
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations_done(&self) -> usize {
+        self.iter
+    }
+
+    /// Per-rank particle counts.
+    pub fn particle_counts(&self) -> Vec<usize> {
+        self.machine.ranks().iter().map(RankState::len).collect()
+    }
+
+    /// Total particles across ranks (must stay constant).
+    pub fn total_particles(&self) -> usize {
+        self.particle_counts().iter().sum()
+    }
+
+    /// Energy diagnostics over all ranks.
+    pub fn energy(&self) -> EnergyReport {
+        crate::diagnostics::energy_of(self.machine.ranks(), self.cfg.dx, self.cfg.dy)
+    }
+
+    /// Per-rank alignment diagnostics (particle subdomain vs mesh block).
+    pub fn alignment(&self) -> Vec<pic_partition::AlignmentReport> {
+        self.machine
+            .ranks()
+            .iter()
+            .map(|st| {
+                pic_partition::alignment_report(
+                    &st.particles.x,
+                    &st.particles.y,
+                    self.cfg.dx,
+                    self.cfg.dy,
+                    self.cfg.nx,
+                    self.cfg.ny,
+                    &st.rect,
+                )
+            })
+            .collect()
+    }
+
+    /// Drained access to machine statistics (advanced use).
+    pub fn stats_mut(&mut self) -> &mut StatsLog {
+        self.machine.stats_mut()
+    }
+}

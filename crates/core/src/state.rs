@@ -1,0 +1,236 @@
+//! Per-rank state of the parallel PIC simulation.
+
+use pic_field::{CurrentSet, FieldSet, Rect};
+use pic_particles::Particles;
+use pic_partition::BucketIncrementalSorter;
+
+use crate::config::SimConfig;
+use crate::ghost::{make_accumulator, GhostAccumulator};
+use crate::messages::ParticleBatch;
+
+/// Everything one virtual processor owns.
+pub struct RankState {
+    /// This rank's id.
+    pub rank: usize,
+    /// Owned mesh block (global cell coordinates).
+    pub rect: Rect,
+    /// Fields on the padded local block: `(w+2) x (h+2)` with a one-cell
+    /// ghost ring maintained by halo exchange.
+    pub fields: FieldSet,
+    /// Current densities on the unpadded local block (`w x h`), rebuilt
+    /// every scatter phase.
+    pub currents: CurrentSet,
+    /// The rank's particles (direct Lagrangian: stable between
+    /// redistributions, sorted by curve key after each redistribution).
+    pub particles: Particles,
+    /// Curve keys of the particles, parallel to `particles`.
+    pub keys: Vec<u64>,
+    /// Bucket boundaries for the incremental sorter.
+    pub sorter: BucketIncrementalSorter,
+    /// Exclusive upper key bound of every rank (`globalBound` in paper
+    /// Figure 12), identical on all ranks after a redistribution.
+    pub bounds: Vec<u64>,
+    /// Ghost accumulation table for the scatter phase.
+    pub ghost: Box<dyn GhostAccumulator + Send>,
+    /// Which ghost vertex indices each other rank deposited here this
+    /// iteration — the gather phase pushes field values back along these
+    /// lists ("the communication behavior is just the inverse of the
+    /// scatter phase").
+    pub ghost_serving: Vec<(usize, Vec<u32>)>,
+    /// Interpolated E at each particle (filled by the gather phase).
+    pub e_at: Vec<[f64; 3]>,
+    /// Interpolated B at each particle.
+    pub b_at: Vec<[f64; 3]>,
+    /// Per-rank particle counts from the last counts allgather.
+    pub all_counts: Vec<usize>,
+    /// Scratch vector reused across collectives.
+    pub scratch_u64: Vec<u64>,
+}
+
+impl RankState {
+    /// Fresh state for `rank` under `cfg`, owning `rect`.
+    pub fn new(rank: usize, rect: Rect, cfg: &SimConfig) -> Self {
+        let p = cfg.machine.ranks;
+        Self {
+            rank,
+            rect,
+            fields: FieldSet::zeros(rect.w + 2, rect.h + 2),
+            currents: CurrentSet::zeros(rect.w, rect.h),
+            particles: Particles::new(-cfg.particle_charge, 1.0),
+            keys: Vec::new(),
+            sorter: BucketIncrementalSorter::new(cfg.buckets_per_rank),
+            bounds: vec![u64::MAX; p],
+            ghost: make_accumulator(cfg.dedup, cfg.nx, cfg.ny),
+            ghost_serving: Vec::new(),
+            e_at: Vec::new(),
+            b_at: Vec::new(),
+            all_counts: vec![0; p],
+            scratch_u64: Vec::new(),
+        }
+    }
+
+    /// Number of local particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// True when the rank holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Extract the particles whose destination (parallel array `dests`)
+    /// differs from this rank, grouped into per-destination batches in
+    /// ascending rank order.  Local order of survivors is preserved.
+    ///
+    /// # Panics
+    /// Panics if `dests` length mismatches the particle count.
+    pub fn take_outgoing(&mut self, dests: &[usize]) -> Vec<(usize, ParticleBatch)> {
+        assert_eq!(dests.len(), self.len(), "dests length mismatch");
+        let off: Vec<usize> = (0..self.len())
+            .filter(|&i| dests[i] != self.rank)
+            .collect();
+        if off.is_empty() {
+            return Vec::new();
+        }
+        let moved_dests: Vec<usize> = off.iter().map(|&i| dests[i]).collect();
+        let moved_keys: Vec<u64> = off.iter().map(|&i| self.keys[i]).collect();
+        let moved = self.particles.extract(&off);
+        // rebuild local keys for survivors
+        let mut keep_keys = Vec::with_capacity(self.keys.len() - off.len());
+        let mut oi = 0;
+        for (i, &k) in self.keys.iter().enumerate() {
+            if oi < off.len() && off[oi] == i {
+                oi += 1;
+            } else {
+                keep_keys.push(k);
+            }
+        }
+        self.keys = keep_keys;
+        // group into batches by destination, ascending
+        let mut order: Vec<usize> = (0..moved_dests.len()).collect();
+        order.sort_by_key(|&i| (moved_dests[i], i));
+        let mut out: Vec<(usize, ParticleBatch)> = Vec::new();
+        for i in order {
+            let dest = moved_dests[i];
+            let coords = moved.get(i);
+            match out.last_mut() {
+                Some((d, batch)) if *d == dest => batch.push(moved_keys[i], coords),
+                _ => {
+                    let mut batch = ParticleBatch::default();
+                    batch.push(moved_keys[i], coords);
+                    out.push((dest, batch));
+                }
+            }
+        }
+        out
+    }
+
+    /// Append a received batch to the local arrays (unsorted; a local
+    /// sort follows in the redistribution sequence).
+    pub fn append_batch(&mut self, batch: &ParticleBatch) {
+        self.particles.reserve(batch.len());
+        for i in 0..batch.len() {
+            let c = batch.coords(i);
+            self.particles.push(c[0], c[1], c[2], c[3], c[4]);
+            self.keys.push(batch.keys[i]);
+        }
+    }
+
+    /// Sort the local particles by key using the incremental sorter;
+    /// returns the modeled comparison count.
+    pub fn sort_local(&mut self) -> f64 {
+        let result = self.sorter.sort_incremental(&self.keys);
+        let sorted_keys: Vec<u64> = result.order.iter().map(|&i| self.keys[i]).collect();
+        self.particles.apply_order(&result.order);
+        self.keys = sorted_keys;
+        result.comparisons
+    }
+
+    /// Rebuild the sorter's bucket boundaries from the (sorted) keys.
+    pub fn rebuild_sorter(&mut self) {
+        debug_assert!(self.keys.windows(2).all(|w| w[0] <= w[1]));
+        self.sorter.rebuild(&self.keys);
+    }
+
+    /// Largest local key, or 0 when empty (the monotone clamp in
+    /// `rank_bounds_from_sorted` absorbs empty ranks).
+    pub fn last_key(&self) -> u64 {
+        self.keys.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn state_with_particles() -> RankState {
+        let cfg = SimConfig::small_test();
+        let rect = Rect { x0: 0, y0: 0, w: 8, h: 8 };
+        let mut st = RankState::new(1, rect, &cfg);
+        for i in 0..6 {
+            let f = i as f64;
+            st.particles.push(f, f, 0.0, 0.0, 0.0);
+            st.keys.push(10 * i as u64);
+        }
+        st
+    }
+
+    #[test]
+    fn take_outgoing_partitions_by_destination() {
+        let mut st = state_with_particles();
+        // dests: particles 0,2 stay (rank 1); 1,3 -> rank 0; 4,5 -> rank 2
+        let dests = vec![1, 0, 1, 0, 2, 2];
+        let out = st.take_outgoing(&dests);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.keys, vec![0, 20]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1.keys, vec![10, 30]);
+        assert_eq!(out[1].0, 2);
+        assert_eq!(out[1].1.keys, vec![40, 50]);
+        // phase space rode along
+        assert_eq!(out[1].1.coords(0)[0], 4.0);
+    }
+
+    #[test]
+    fn take_outgoing_with_no_moves_is_empty() {
+        let mut st = state_with_particles();
+        let out = st.take_outgoing(&[1; 6]);
+        assert!(out.is_empty());
+        assert_eq!(st.len(), 6);
+    }
+
+    #[test]
+    fn append_then_sort_restores_key_order() {
+        let mut st = state_with_particles();
+        let mut batch = ParticleBatch::default();
+        batch.push(15, [1.5, 1.5, 0.0, 0.0, 0.0]);
+        batch.push(35, [3.5, 3.5, 0.0, 0.0, 0.0]);
+        st.append_batch(&batch);
+        assert_eq!(st.len(), 8);
+        st.sort_local();
+        assert_eq!(st.keys, vec![0, 10, 15, 20, 30, 35, 40, 50]);
+        // particle attributes moved with their keys
+        let idx = st.keys.iter().position(|&k| k == 15).unwrap();
+        assert_eq!(st.particles.x[idx], 1.5);
+    }
+
+    #[test]
+    fn last_key_handles_empty() {
+        let cfg = SimConfig::small_test();
+        let st = RankState::new(0, Rect { x0: 0, y0: 0, w: 4, h: 4 }, &cfg);
+        assert_eq!(st.last_key(), 0);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn padded_field_dimensions() {
+        let cfg = SimConfig::small_test();
+        let st = RankState::new(0, Rect { x0: 0, y0: 0, w: 8, h: 4 }, &cfg);
+        assert_eq!(st.fields.width(), 10);
+        assert_eq!(st.fields.height(), 6);
+        assert_eq!(st.currents.jx.width(), 8);
+    }
+}

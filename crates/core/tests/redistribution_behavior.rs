@@ -1,0 +1,214 @@
+//! Behavioural tests of the dynamic alignment machinery: does
+//! redistribution actually restore alignment and cut communication, and
+//! do the policies behave as the paper describes?
+
+use pic_core::{ParallelPicSim, SimConfig};
+use pic_index::IndexScheme;
+use pic_machine::MachineConfig;
+use pic_particles::ParticleDistribution;
+use pic_partition::PolicyKind;
+
+fn drift_config() -> SimConfig {
+    // hot irregular plasma on 8 ranks: particle subdomains smear quickly
+    SimConfig {
+        nx: 32,
+        ny: 32,
+        particles: 4096,
+        distribution: ParticleDistribution::IrregularCenter,
+        machine: MachineConfig::cm5(8),
+        thermal_u: 0.8,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn scatter_traffic_grows_without_redistribution() {
+    let mut cfg = drift_config();
+    cfg.policy = PolicyKind::Static;
+    let mut sim = ParallelPicSim::new(cfg);
+    let early: u64 = (0..3).map(|_| sim.step().scatter_max_bytes_sent).sum();
+    for _ in 0..34 {
+        sim.step();
+    }
+    let late: u64 = (0..3).map(|_| sim.step().scatter_max_bytes_sent).sum();
+    assert!(
+        late > early,
+        "scatter traffic did not grow: early {early}, late {late}"
+    );
+}
+
+#[test]
+fn redistribution_cuts_scatter_traffic() {
+    let mut cfg = drift_config();
+    cfg.policy = PolicyKind::Static;
+    let mut sim = ParallelPicSim::new(cfg);
+    for _ in 0..40 {
+        sim.step();
+    }
+    let before = sim.step().scatter_max_bytes_sent;
+    sim.redistribute_now();
+    let after = sim.step().scatter_max_bytes_sent;
+    assert!(
+        after < before,
+        "redistribution did not cut traffic: {before} -> {after}"
+    );
+}
+
+#[test]
+fn redistribution_restores_alignment() {
+    let mut cfg = drift_config();
+    cfg.policy = PolicyKind::Static;
+    let mut sim = ParallelPicSim::new(cfg);
+    for _ in 0..40 {
+        sim.step();
+    }
+    let mean_overlap = |sim: &ParallelPicSim| {
+        let reports = sim.alignment();
+        reports.iter().map(|r| r.overlap_fraction).sum::<f64>() / reports.len() as f64
+    };
+    let drifted = mean_overlap(&sim);
+    sim.redistribute_now();
+    let realigned = mean_overlap(&sim);
+    assert!(
+        realigned > drifted,
+        "alignment not restored: {drifted} -> {realigned}"
+    );
+}
+
+#[test]
+fn periodic_policy_beats_static_on_total_time() {
+    let run = |policy| {
+        let mut cfg = drift_config();
+        cfg.policy = policy;
+        let mut sim = ParallelPicSim::new(cfg);
+        sim.run(60).total_s
+    };
+    let static_t = run(PolicyKind::Static);
+    let periodic_t = run(PolicyKind::Periodic(10));
+    assert!(
+        periodic_t < static_t,
+        "periodic {periodic_t} not better than static {static_t}"
+    );
+}
+
+#[test]
+fn dynamic_policy_is_competitive_with_best_periodic() {
+    let run = |policy| {
+        let mut cfg = drift_config();
+        cfg.policy = policy;
+        let mut sim = ParallelPicSim::new(cfg);
+        sim.run(60).total_s
+    };
+    let dynamic_t = run(PolicyKind::DynamicSar);
+    let best_periodic = [5usize, 10, 20, 40]
+        .into_iter()
+        .map(|k| run(PolicyKind::Periodic(k)))
+        .fold(f64::INFINITY, f64::min);
+    // the paper claims "close to the periodic redistribution with the
+    // best period"; allow 25% slack
+    assert!(
+        dynamic_t < best_periodic * 1.25,
+        "dynamic {dynamic_t} vs best periodic {best_periodic}"
+    );
+}
+
+#[test]
+fn dynamic_policy_actually_fires() {
+    let mut cfg = drift_config();
+    cfg.policy = PolicyKind::DynamicSar;
+    let mut sim = ParallelPicSim::new(cfg);
+    let report = sim.run(60);
+    assert!(
+        report.redistributions > 0,
+        "dynamic policy never redistributed"
+    );
+    assert!(
+        report.redistributions < 60,
+        "dynamic policy fired every iteration"
+    );
+}
+
+#[test]
+fn hilbert_produces_less_overhead_than_snake() {
+    let run = |scheme| {
+        let mut cfg = drift_config();
+        cfg.scheme = scheme;
+        cfg.policy = PolicyKind::Periodic(10);
+        let mut sim = ParallelPicSim::new(cfg);
+        let r = sim.run(40);
+        r.overhead_s
+    };
+    let hilbert = run(IndexScheme::Hilbert);
+    let snake = run(IndexScheme::Snake);
+    assert!(
+        hilbert < snake,
+        "hilbert overhead {hilbert} not below snake {snake}"
+    );
+}
+
+#[test]
+fn incremental_redistribution_is_cheaper_than_initial_distribution() {
+    // paper Figure 11: redistribution via incremental sorting beats
+    // running the full distribution algorithm each time.  The initial
+    // distribution pays the sample sort and moves most particles; an
+    // incremental redistribution a few iterations later touches only the
+    // particles that changed buckets.
+    let mut cfg = drift_config();
+    cfg.policy = PolicyKind::Static;
+    let mut sim = ParallelPicSim::new(cfg);
+    let initial_cost = sim.run(0).setup_s;
+    for _ in 0..5 {
+        sim.step();
+    }
+    let incremental_cost = sim.redistribute_now();
+    assert!(
+        incremental_cost < initial_cost,
+        "incremental {incremental_cost} not below initial {initial_cost}"
+    );
+}
+
+#[test]
+fn redistribution_cost_grows_with_displacement() {
+    // the longer we wait, the more particles cross rank bounds, the more
+    // the (incremental) redistribution costs
+    let cost_after = |steps: usize| {
+        let mut cfg = drift_config();
+        cfg.policy = PolicyKind::Static;
+        let mut sim = ParallelPicSim::new(cfg);
+        for _ in 0..steps {
+            sim.step();
+        }
+        sim.redistribute_now()
+    };
+    let soon = cost_after(2);
+    let late = cost_after(40);
+    assert!(
+        late > soon,
+        "cost did not grow with displacement: {soon} -> {late}"
+    );
+}
+
+#[test]
+fn report_totals_are_consistent() {
+    let mut sim = ParallelPicSim::new(SimConfig::small_test());
+    let report = sim.run(10);
+    assert_eq!(report.iterations.len(), 10);
+    assert!(report.total_s > 0.0);
+    assert!(report.compute_s > 0.0);
+    assert!(report.overhead_s >= 0.0);
+    // phase breakdown covers the whole run
+    let b = report.breakdown;
+    let phase_sum =
+        b.scatter_s + b.field_solve_s + b.gather_s + b.push_s + b.redistribute_s;
+    assert!(
+        (phase_sum - report.total_s).abs() < 1e-9 * report.total_s.max(1.0),
+        "breakdown {phase_sum} vs total {}",
+        report.total_s
+    );
+    // iteration times are monotone contributions
+    for rec in &report.iterations {
+        assert!(rec.time_s > 0.0);
+        assert!(rec.compute_s > 0.0);
+        assert!(rec.comm_s >= 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Field energy diagnostics.
+
+use crate::maxwell::FieldSet;
+
+/// Total electromagnetic field energy `sum (E^2 + B^2) / 2 * dx * dy` in
+/// normalized units.  Used by conservation tests and the physics examples.
+pub fn field_energy(f: &FieldSet, dx: f64, dy: f64) -> f64 {
+    let cell = dx * dy;
+    let mut sum = 0.0;
+    for i in 0..f.ex.len() {
+        let e2 = f.ex.as_slice()[i].powi(2)
+            + f.ey.as_slice()[i].powi(2)
+            + f.ez.as_slice()[i].powi(2);
+        let b2 = f.bx.as_slice()[i].powi(2)
+            + f.by.as_slice()[i].powi(2)
+            + f.bz.as_slice()[i].powi(2);
+        sum += 0.5 * (e2 + b2) * cell;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fields_have_zero_energy() {
+        let f = FieldSet::zeros(4, 4);
+        assert_eq!(field_energy(&f, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_field_energy_is_analytic() {
+        let mut f = FieldSet::zeros(4, 4);
+        f.ez.fill(2.0);
+        // 16 cells * 0.5 * 4 = 32
+        assert!((field_energy(&f, 1.0, 1.0) - 32.0).abs() < 1e-12);
+        // cell size scales linearly
+        assert!((field_energy(&f, 0.5, 0.5) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_sums_all_components() {
+        let mut f = FieldSet::zeros(1, 1);
+        f.ex.fill(1.0);
+        f.ey.fill(1.0);
+        f.ez.fill(1.0);
+        f.bx.fill(1.0);
+        f.by.fill(1.0);
+        f.bz.fill(1.0);
+        assert!((field_energy(&f, 1.0, 1.0) - 3.0).abs() < 1e-12);
+    }
+}

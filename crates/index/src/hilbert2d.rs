@@ -1,0 +1,250 @@
+//! 2-D Hilbert curve indexing.
+//!
+//! The raw curve ([`xy2d`]/[`d2xy`]) is defined on a `2^order x 2^order`
+//! square.  The paper's meshes are rectangular (e.g. `128 x 64`), so
+//! [`HilbertIndexer`] embeds the mesh in the smallest enclosing power-of-two
+//! square and *compacts* the curve: cells are ranked by their raw Hilbert
+//! index, producing a bijection onto `0..width*height` that preserves curve
+//! order.  Compaction keeps the key property the paper relies on — cells
+//! with nearby compacted indices are spatially close — because dropping
+//! out-of-mesh cells never reorders the survivors.
+
+use crate::curve::CellIndexer;
+
+/// Rotate/flip a quadrant so the curve recurses correctly.
+///
+/// `n` is the side length of the (sub)square being rotated; `rx`/`ry` are
+/// the quadrant bits extracted at the current scale.
+#[inline]
+fn rot(n: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = n.wrapping_sub(1).wrapping_sub(*x);
+            *y = n.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Convert cell coordinates to the Hilbert distance on a `2^order` square.
+///
+/// # Panics
+/// Panics in debug builds if `x` or `y` lie outside the square.
+#[inline]
+pub fn xy2d(order: u32, mut x: u64, mut y: u64) -> u64 {
+    let n = 1u64 << order;
+    debug_assert!(x < n && y < n, "({x},{y}) outside 2^{order} square");
+    let mut d = 0u64;
+    let mut s = n >> 1;
+    while s > 0 {
+        let rx = u64::from(x & s > 0);
+        let ry = u64::from(y & s > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        rot(n, &mut x, &mut y, rx, ry);
+        s >>= 1;
+    }
+    d
+}
+
+/// Convert a Hilbert distance back to cell coordinates on a `2^order` square.
+///
+/// # Panics
+/// Panics in debug builds if `d >= 4^order`.
+#[inline]
+pub fn d2xy(order: u32, d: u64) -> (u64, u64) {
+    let n = 1u64 << order;
+    debug_assert!(d < n * n, "distance {d} outside 2^{order} square");
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s <<= 1;
+    }
+    (x, y)
+}
+
+/// Smallest order `k` with `2^k >= max(width, height)`.
+pub fn enclosing_order(width: usize, height: usize) -> u32 {
+    let side = width.max(height).max(1);
+    (usize::BITS - (side - 1).leading_zeros()).max(1)
+}
+
+/// Hilbert-curve indexer for an arbitrary `width x height` mesh.
+///
+/// Construction is `O(w*h log(w*h))`; both [`CellIndexer::index`] and
+/// [`CellIndexer::coords`] are then O(1) table lookups, which matters
+/// because the scatter phase indexes every particle every iteration.
+#[derive(Debug, Clone)]
+pub struct HilbertIndexer {
+    width: usize,
+    height: usize,
+    /// Row-major cell position -> compacted curve index.
+    cell_to_index: Vec<u64>,
+    /// Compacted curve index -> (x, y).
+    index_to_cell: Vec<(u32, u32)>,
+}
+
+impl HilbertIndexer {
+    /// Build the indexer for a `width x height` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or exceeds `u32::MAX`.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        assert!(width <= u32::MAX as usize && height <= u32::MAX as usize);
+        let order = enclosing_order(width, height);
+        let mut ranked: Vec<(u64, u32, u32)> = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                ranked.push((xy2d(order, x as u64, y as u64), x as u32, y as u32));
+            }
+        }
+        ranked.sort_unstable_by_key(|&(raw, _, _)| raw);
+        let mut cell_to_index = vec![0u64; width * height];
+        let mut index_to_cell = Vec::with_capacity(width * height);
+        for (compact, &(_, x, y)) in ranked.iter().enumerate() {
+            cell_to_index[y as usize * width + x as usize] = compact as u64;
+            index_to_cell.push((x, y));
+        }
+        Self {
+            width,
+            height,
+            cell_to_index,
+            index_to_cell,
+        }
+    }
+
+    /// The enclosing square's curve order used internally.
+    pub fn order(&self) -> u32 {
+        enclosing_order(self.width, self.height)
+    }
+}
+
+impl CellIndexer for HilbertIndexer {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> u64 {
+        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
+        self.cell_to_index[y * self.width + x]
+    }
+
+    #[inline]
+    fn coords(&self, idx: u64) -> (usize, usize) {
+        let (x, y) = self.index_to_cell[idx as usize];
+        (x as usize, y as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_curve_first_quadrant_order1() {
+        // The order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+        assert_eq!(d2xy(1, 0), (0, 0));
+        assert_eq!(d2xy(1, 1), (0, 1));
+        assert_eq!(d2xy(1, 2), (1, 1));
+        assert_eq!(d2xy(1, 3), (1, 0));
+    }
+
+    #[test]
+    fn raw_curve_roundtrips_order_6() {
+        let order = 6;
+        let n = 1u64 << order;
+        for d in 0..n * n {
+            let (x, y) = d2xy(order, d);
+            assert_eq!(xy2d(order, x, y), d);
+        }
+    }
+
+    #[test]
+    fn raw_curve_consecutive_cells_are_grid_neighbors() {
+        // The defining property of a Hilbert curve: unit steps.
+        let order = 5;
+        let n = 1u64 << order;
+        let mut prev = d2xy(order, 0);
+        for d in 1..n * n {
+            let cur = d2xy(order, d);
+            let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+            assert_eq!(dist, 1, "step {d}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn enclosing_order_covers_both_dimensions() {
+        assert_eq!(enclosing_order(1, 1), 1);
+        assert_eq!(enclosing_order(2, 2), 1);
+        assert_eq!(enclosing_order(3, 2), 2);
+        assert_eq!(enclosing_order(128, 64), 7);
+        assert_eq!(enclosing_order(512, 256), 9);
+        assert_eq!(enclosing_order(100, 300), 9);
+    }
+
+    #[test]
+    fn rectangular_mesh_is_a_bijection() {
+        let ix = HilbertIndexer::new(16, 8);
+        let mut seen = [false; 128];
+        for y in 0..8 {
+            for x in 0..16 {
+                let i = ix.index(x, y) as usize;
+                assert!(!seen[i]);
+                seen[i] = true;
+                assert_eq!(ix.coords(i as u64), (x, y));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn compaction_preserves_curve_order() {
+        // Raw order of any two in-mesh cells must equal compacted order.
+        let (w, h) = (13, 7); // deliberately not powers of two
+        let ix = HilbertIndexer::new(w, h);
+        let order = ix.order();
+        let mut cells: Vec<(usize, usize)> = (0..h)
+            .flat_map(|y| (0..w).map(move |x| (x, y)))
+            .collect();
+        cells.sort_by_key(|&(x, y)| xy2d(order, x as u64, y as u64));
+        for (rank, &(x, y)) in cells.iter().enumerate() {
+            assert_eq!(ix.index(x, y), rank as u64);
+        }
+    }
+
+    #[test]
+    fn square_power_of_two_mesh_matches_raw_curve() {
+        let ix = HilbertIndexer::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(ix.index(x, y), xy2d(3, x as u64, y as u64));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn out_of_mesh_access_panics() {
+        let ix = HilbertIndexer::new(4, 4);
+        ix.index(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        HilbertIndexer::new(0, 4);
+    }
+}

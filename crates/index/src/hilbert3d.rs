@@ -1,0 +1,224 @@
+//! 3-D Hilbert curve (extension).
+//!
+//! The paper evaluates 2-D problems but notes (Section 5.1) that Hilbert
+//! indexing "can be generalized to n-dimensions".  This module provides the
+//! 3-D instantiation via Skilling's transpose algorithm
+//! (J. Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004)
+//! so that a 3-D PIC port can reuse the same distribution machinery.
+
+/// A 3-D Hilbert curve over a cube of side `2^order`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hilbert3d {
+    order: u32,
+}
+
+const DIM: usize = 3;
+
+impl Hilbert3d {
+    /// Curve over a `2^order` cube.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= order <= 21` (so the index fits in a `u64`).
+    pub fn new(order: u32) -> Self {
+        assert!((1..=21).contains(&order), "order {order} out of range 1..=21");
+        Self { order }
+    }
+
+    /// Side length of the cube.
+    pub fn side(&self) -> u64 {
+        1 << self.order
+    }
+
+    /// Number of cells on the curve (`8^order`).
+    pub fn len(&self) -> u64 {
+        1u64 << (3 * self.order)
+    }
+
+    /// True when the curve has no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Hilbert distance of the cell at `(x, y, z)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a coordinate is outside the cube.
+    pub fn index(&self, x: u64, y: u64, z: u64) -> u64 {
+        let n = self.side();
+        debug_assert!(x < n && y < n && z < n, "({x},{y},{z}) outside 2^{} cube", self.order);
+        let mut xs = [x, y, z];
+        axes_to_transpose(&mut xs, self.order);
+        interleave(&xs, self.order)
+    }
+
+    /// Cell coordinates of Hilbert distance `d`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `d >= 8^order`.
+    pub fn coords(&self, d: u64) -> (u64, u64, u64) {
+        debug_assert!(d < self.len(), "distance {d} outside curve");
+        let mut xs = deinterleave(d, self.order);
+        transpose_to_axes(&mut xs, self.order);
+        (xs[0], xs[1], xs[2])
+    }
+}
+
+/// Skilling's AxesToTranspose: in-place map coordinates -> transposed index.
+fn axes_to_transpose(x: &mut [u64; DIM], bits: u32) {
+    let m = 1u64 << (bits - 1);
+    // Inverse undo
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..DIM {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..DIM {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u64;
+    let mut q = m;
+    while q > 1 {
+        if x[DIM - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Skilling's TransposeToAxes: in-place map transposed index -> coordinates.
+fn transpose_to_axes(x: &mut [u64; DIM], bits: u32) {
+    let n = 2u64 << (bits - 1);
+    // Gray decode by H ^ (H/2)
+    let mut t = x[DIM - 1] >> 1;
+    for i in (1..DIM).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work
+    let mut q = 2u64;
+    while q != n {
+        let p = q - 1;
+        for i in (0..DIM).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Pack a transposed index into a single integer, most significant bit
+/// plane first (bit `bits-1` of x[0], then of x[1], x[2], then bit `bits-2`
+/// of x[0], ...).
+fn interleave(x: &[u64; DIM], bits: u32) -> u64 {
+    let mut out = 0u64;
+    for b in (0..bits).rev() {
+        for xi in x.iter() {
+            out = (out << 1) | ((xi >> b) & 1);
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+fn deinterleave(d: u64, bits: u32) -> [u64; DIM] {
+    let mut x = [0u64; DIM];
+    let total = bits * DIM as u32;
+    for pos in 0..total {
+        let bit = (d >> (total - 1 - pos)) & 1;
+        let axis = (pos as usize) % DIM;
+        x[axis] = (x[axis] << 1) | bit;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_roundtrip() {
+        for bits in 1..6u32 {
+            let side = 1u64 << bits;
+            for x in (0..side).step_by(3) {
+                for y in (0..side).step_by(2) {
+                    for z in 0..side {
+                        let xs = [x, y, z];
+                        assert_eq!(deinterleave(interleave(&xs, bits), bits), xs);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_order_3() {
+        let h = Hilbert3d::new(3);
+        for d in 0..h.len() {
+            let (x, y, z) = h.coords(d);
+            assert_eq!(h.index(x, y, z), d, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn curve_visits_every_cell_exactly_once() {
+        let h = Hilbert3d::new(2);
+        let mut seen = vec![false; h.len() as usize];
+        for d in 0..h.len() {
+            let (x, y, z) = h.coords(d);
+            let flat = ((z * h.side() + y) * h.side() + x) as usize;
+            assert!(!seen[flat], "cell visited twice at d={d}");
+            seen[flat] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn consecutive_cells_are_unit_steps() {
+        // Defining Hilbert property in 3-D as well.
+        let h = Hilbert3d::new(3);
+        let mut prev = h.coords(0);
+        for d in 1..h.len() {
+            let cur = h.coords(d);
+            let dist =
+                prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
+            assert_eq!(dist, 1, "step {d}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        let h = Hilbert3d::new(4);
+        assert_eq!(h.coords(0), (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn order_zero_rejected() {
+        Hilbert3d::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn huge_order_rejected() {
+        Hilbert3d::new(22);
+    }
+}

@@ -1,0 +1,175 @@
+//! 3-D indexing baselines and locality metrics (extension).
+//!
+//! Companions to [`crate::Hilbert3d`] for the paper's n-dimensional
+//! generalization remark: a snakelike 3-D ordering (the natural extension
+//! of the paper's 2-D baseline) and range-compactness statistics for
+//! contiguous index ranges — the 3-D analogue of
+//! [`crate::locality::range_bbox_stats`].
+
+use crate::hilbert3d::Hilbert3d;
+
+/// Snakelike 3-D index: x sweeps alternate with y, and xy-planes
+/// alternate with z, so consecutive indices are always grid neighbours —
+/// but locality holds along one dimension only, exactly like the 2-D
+/// snake.
+pub fn snake3d_index(side: u64, x: u64, y: u64, z: u64) -> u64 {
+    debug_assert!(x < side && y < side && z < side);
+    let (y_eff, x_parity) = if z.is_multiple_of(2) { (y, y % 2) } else { (side - 1 - y, (side - 1 - y) % 2) };
+    let x_eff = if x_parity == 0 { x } else { side - 1 - x };
+    (z * side + y_eff) * side + x_eff
+}
+
+/// Inverse of [`snake3d_index`].
+pub fn snake3d_coords(side: u64, idx: u64) -> (u64, u64, u64) {
+    debug_assert!(idx < side * side * side);
+    let z = idx / (side * side);
+    let rem = idx % (side * side);
+    let y_eff = rem / side;
+    let x_eff = rem % side;
+    let y = if z.is_multiple_of(2) { y_eff } else { side - 1 - y_eff };
+    let x_parity = y_eff % 2;
+    let x = if x_parity == 0 { x_eff } else { side - 1 - x_eff };
+    (x, y, z)
+}
+
+/// Plain row-major 3-D index (z-major), the weakest baseline.
+pub fn rowmajor3d_index(side: u64, x: u64, y: u64, z: u64) -> u64 {
+    (z * side + y) * side + x
+}
+
+/// Bounding-box statistics of equal contiguous ranges of a 3-D indexing:
+/// mean bounding-box volume and mean longest/shortest edge ratio over
+/// `parts` ranges of a `side^3` cube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range3Stats {
+    /// Mean bounding-box volume (cells) per range.
+    pub mean_volume: f64,
+    /// Mean aspect ratio (longest edge / shortest edge).
+    pub mean_aspect: f64,
+    /// Mean surface area of the bounding box — the 3-D analogue of the
+    /// subdomain perimeter that bounds ghost-cell communication.
+    pub mean_surface: f64,
+}
+
+/// Compute [`Range3Stats`] for an index→coords function over a cube.
+pub fn range3_stats<F>(side: u64, parts: usize, coords: F) -> Range3Stats
+where
+    F: Fn(u64) -> (u64, u64, u64),
+{
+    let n = side * side * side;
+    assert!(parts > 0 && (parts as u64) <= n, "invalid part count");
+    let mut vol_sum = 0.0;
+    let mut aspect_sum = 0.0;
+    let mut surf_sum = 0.0;
+    for p in 0..parts as u64 {
+        let lo = n * p / parts as u64;
+        let hi = n * (p + 1) / parts as u64;
+        let (mut min, mut max) = ([u64::MAX; 3], [0u64; 3]);
+        for d in lo..hi {
+            let (x, y, z) = coords(d);
+            for (c, &v) in [x, y, z].iter().enumerate() {
+                min[c] = min[c].min(v);
+                max[c] = max[c].max(v);
+            }
+        }
+        let e: Vec<f64> = (0..3).map(|c| (max[c] - min[c] + 1) as f64).collect();
+        vol_sum += e[0] * e[1] * e[2];
+        let longest = e.iter().cloned().fold(0.0f64, f64::max);
+        let shortest = e.iter().cloned().fold(f64::INFINITY, f64::min);
+        aspect_sum += longest / shortest;
+        surf_sum += 2.0 * (e[0] * e[1] + e[1] * e[2] + e[0] * e[2]);
+    }
+    Range3Stats {
+        mean_volume: vol_sum / parts as f64,
+        mean_aspect: aspect_sum / parts as f64,
+        mean_surface: surf_sum / parts as f64,
+    }
+}
+
+/// Convenience: range statistics of the 3-D Hilbert curve.
+pub fn hilbert3d_range_stats(order: u32, parts: usize) -> Range3Stats {
+    let h = Hilbert3d::new(order);
+    range3_stats(h.side(), parts, |d| h.coords(d))
+}
+
+/// Convenience: range statistics of the snakelike 3-D ordering.
+pub fn snake3d_range_stats(order: u32, parts: usize) -> Range3Stats {
+    let side = 1u64 << order;
+    range3_stats(side, parts, |d| snake3d_coords(side, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake3d_roundtrips() {
+        let side = 8;
+        for idx in 0..side * side * side {
+            let (x, y, z) = snake3d_coords(side, idx);
+            assert_eq!(snake3d_index(side, x, y, z), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn snake3d_consecutive_are_neighbors() {
+        let side = 6;
+        let mut prev = snake3d_coords(side, 0);
+        for idx in 1..side * side * side {
+            let cur = snake3d_coords(side, idx);
+            let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
+            assert_eq!(dist, 1, "step {idx}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn snake3d_visits_every_cell_once() {
+        let side = 4;
+        let mut seen = vec![false; (side * side * side) as usize];
+        for idx in 0..side * side * side {
+            let (x, y, z) = snake3d_coords(side, idx);
+            let flat = ((z * side + y) * side + x) as usize;
+            assert!(!seen[flat]);
+            seen[flat] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hilbert3d_ranges_are_more_compact_than_snake3d() {
+        // the 3-D analogue of the paper's Section 6.3 argument: Hilbert
+        // subdomains have smaller bounding surfaces than snakelike slabs
+        let (order, parts) = (4, 16);
+        let h = hilbert3d_range_stats(order, parts);
+        let s = snake3d_range_stats(order, parts);
+        assert!(
+            h.mean_surface < s.mean_surface,
+            "hilbert surface {} !< snake surface {}",
+            h.mean_surface,
+            s.mean_surface
+        );
+        assert!(
+            h.mean_aspect < s.mean_aspect,
+            "hilbert aspect {} !< snake aspect {}",
+            h.mean_aspect,
+            s.mean_aspect
+        );
+    }
+
+    #[test]
+    fn power_of_two_hilbert_split_fills_octants() {
+        // 8 ranges of an order-k cube are exactly the 8 sub-cubes
+        let stats = hilbert3d_range_stats(3, 8);
+        assert!((stats.mean_aspect - 1.0).abs() < 1e-12);
+        assert!((stats.mean_volume - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rowmajor3d_is_plain_lexicographic() {
+        assert_eq!(rowmajor3d_index(4, 0, 0, 0), 0);
+        assert_eq!(rowmajor3d_index(4, 3, 0, 0), 3);
+        assert_eq!(rowmajor3d_index(4, 0, 1, 0), 4);
+        assert_eq!(rowmajor3d_index(4, 0, 0, 1), 16);
+    }
+}

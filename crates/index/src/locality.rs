@@ -1,0 +1,177 @@
+//! Locality metrics for indexing schemes.
+//!
+//! Two quantities predict the communication behaviour the paper measures:
+//!
+//! * **Neighbour jump** — how far apart the indices of spatially adjacent
+//!   cells are.  Small jumps in *both* dimensions mean an equal split of
+//!   the sorted particle array yields compact subdomains.
+//! * **Range bounding box** — take a contiguous index range (exactly what a
+//!   processor is assigned) and measure the bounding box / perimeter of the
+//!   cells it covers.  The perimeter bounds the ghost-point count, i.e. the
+//!   scatter/gather communication volume (paper Section 6.3: snakelike
+//!   subdomains are "rectangular in nature with high aspect ratios" and
+//!   have "boundaries with larger perimeters and greater communication
+//!   cost").
+
+use crate::curve::CellIndexer;
+
+/// Statistics of |index(cell) - index(neighbour)| over all 4-neighbour
+/// pairs of the mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JumpStats {
+    /// Mean absolute index difference between adjacent cells.
+    pub mean: f64,
+    /// Maximum absolute index difference.
+    pub max: u64,
+    /// Fraction of adjacent pairs with index difference exactly 1.
+    pub unit_fraction: f64,
+}
+
+/// Compute [`JumpStats`] for an indexer.
+pub fn neighbor_jump_stats(ix: &dyn CellIndexer) -> JumpStats {
+    let (w, h) = (ix.width(), ix.height());
+    let mut sum = 0u128;
+    let mut count = 0u64;
+    let mut max = 0u64;
+    let mut units = 0u64;
+    for y in 0..h {
+        for x in 0..w {
+            let here = ix.index(x, y);
+            if x + 1 < w {
+                let d = here.abs_diff(ix.index(x + 1, y));
+                sum += d as u128;
+                count += 1;
+                max = max.max(d);
+                units += u64::from(d == 1);
+            }
+            if y + 1 < h {
+                let d = here.abs_diff(ix.index(x, y + 1));
+                sum += d as u128;
+                count += 1;
+                max = max.max(d);
+                units += u64::from(d == 1);
+            }
+        }
+    }
+    JumpStats {
+        mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        max,
+        unit_fraction: if count == 0 { 0.0 } else { units as f64 / count as f64 },
+    }
+}
+
+/// Shape statistics of the cell sets covered by equal contiguous index
+/// ranges (one range per "processor").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeStats {
+    /// Mean bounding-box aspect ratio (long side / short side) over ranges.
+    pub mean_aspect: f64,
+    /// Mean bounding-box perimeter over ranges, in cells.
+    pub mean_perimeter: f64,
+    /// Mean ratio of range size to bounding-box area (1.0 = perfectly
+    /// filled box; lower values mean stragglers far from the core).
+    pub mean_fill: f64,
+}
+
+/// Split the curve into `parts` equal contiguous ranges and compute
+/// [`RangeStats`].
+///
+/// # Panics
+/// Panics if `parts` is zero or exceeds the number of cells.
+pub fn range_bbox_stats(ix: &dyn CellIndexer, parts: usize) -> RangeStats {
+    let n = ix.len();
+    assert!(parts > 0 && parts <= n, "parts {parts} invalid for {n} cells");
+    let mut aspect_sum = 0.0;
+    let mut perim_sum = 0.0;
+    let mut fill_sum = 0.0;
+    for p in 0..parts {
+        let lo = (n * p / parts) as u64;
+        let hi = (n * (p + 1) / parts) as u64;
+        let (mut minx, mut miny) = (usize::MAX, usize::MAX);
+        let (mut maxx, mut maxy) = (0usize, 0usize);
+        for d in lo..hi {
+            let (x, y) = ix.coords(d);
+            minx = minx.min(x);
+            miny = miny.min(y);
+            maxx = maxx.max(x);
+            maxy = maxy.max(y);
+        }
+        let bw = (maxx - minx + 1) as f64;
+        let bh = (maxy - miny + 1) as f64;
+        aspect_sum += bw.max(bh) / bw.min(bh);
+        perim_sum += 2.0 * (bw + bh);
+        fill_sum += (hi - lo) as f64 / (bw * bh);
+    }
+    RangeStats {
+        mean_aspect: aspect_sum / parts as f64,
+        mean_perimeter: perim_sum / parts as f64,
+        mean_fill: fill_sum / parts as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HilbertIndexer, RowMajorIndexer, SnakeIndexer};
+
+    #[test]
+    fn hilbert_mean_jump_smaller_than_snake() {
+        let (w, h) = (32, 16);
+        let hil = neighbor_jump_stats(&HilbertIndexer::new(w, h));
+        let snk = neighbor_jump_stats(&SnakeIndexer::new(w, h));
+        assert!(
+            hil.mean < snk.mean,
+            "hilbert {} !< snake {}",
+            hil.mean,
+            snk.mean
+        );
+    }
+
+    #[test]
+    fn rowmajor_max_jump_is_width_scale() {
+        let rm = neighbor_jump_stats(&RowMajorIndexer::new(16, 16));
+        // vertical neighbours differ by exactly the width
+        assert_eq!(rm.max, 16);
+    }
+
+    #[test]
+    fn unit_fraction_reflects_curve_steps() {
+        // Hilbert visits neighbours consecutively, so a good share of
+        // adjacent pairs have distance exactly 1.
+        let hil = neighbor_jump_stats(&HilbertIndexer::new(16, 16));
+        assert!(hil.unit_fraction > 0.25, "{}", hil.unit_fraction);
+    }
+
+    #[test]
+    fn hilbert_ranges_are_squarer_than_snake() {
+        let (w, h, parts) = (32, 32, 16);
+        let hil = range_bbox_stats(&HilbertIndexer::new(w, h), parts);
+        let snk = range_bbox_stats(&SnakeIndexer::new(w, h), parts);
+        assert!(
+            hil.mean_aspect < snk.mean_aspect,
+            "hilbert aspect {} !< snake aspect {}",
+            hil.mean_aspect,
+            snk.mean_aspect
+        );
+        assert!(
+            hil.mean_perimeter < snk.mean_perimeter,
+            "hilbert perim {} !< snake perim {}",
+            hil.mean_perimeter,
+            snk.mean_perimeter
+        );
+    }
+
+    #[test]
+    fn hilbert_power_of_two_split_fills_boxes() {
+        // 16 ranges of an order-5 square are exactly the 16 subsquares.
+        let stats = range_bbox_stats(&HilbertIndexer::new(32, 32), 16);
+        assert!((stats.mean_fill - 1.0).abs() < 1e-12);
+        assert!((stats.mean_aspect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn zero_parts_panics() {
+        range_bbox_stats(&HilbertIndexer::new(8, 8), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Plain row-major indexing — the weakest locality baseline.
+//!
+//! Mentioned in the paper (Figure 9) as the ordering that keeps indices
+//! close only along rows; the jump from the end of one row to the start of
+//! the next is a full mesh width, so contiguous index ranges can span the
+//! whole x extent.
+
+use crate::curve::CellIndexer;
+
+/// Row-major indexer over a `width x height` mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMajorIndexer {
+    width: usize,
+    height: usize,
+}
+
+impl RowMajorIndexer {
+    /// Build the indexer.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        Self { width, height }
+    }
+}
+
+impl CellIndexer for RowMajorIndexer {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> u64 {
+        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
+        (y * self.width + x) as u64
+    }
+
+    #[inline]
+    fn coords(&self, idx: u64) -> (usize, usize) {
+        let idx = idx as usize;
+        assert!(idx < self.len(), "index {idx} outside mesh");
+        (idx % self.width, idx / self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_manual_formula() {
+        let r = RowMajorIndexer::new(5, 3);
+        assert_eq!(r.index(0, 0), 0);
+        assert_eq!(r.index(4, 0), 4);
+        assert_eq!(r.index(0, 1), 5);
+        assert_eq!(r.index(4, 2), 14);
+    }
+
+    #[test]
+    fn roundtrip_full_mesh() {
+        let r = RowMajorIndexer::new(6, 4);
+        for i in 0..r.len() as u64 {
+            let (x, y) = r.coords(i);
+            assert_eq!(r.index(x, y), i);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Snakelike (boustrophedon) indexing — the paper's comparison baseline.
+//!
+//! Rows are traversed left-to-right and right-to-left alternately so that
+//! consecutive indices are always grid neighbours, but locality is only
+//! maintained along one dimension: index distance between vertical
+//! neighbours is O(width).  The paper (Section 6.3) shows this produces
+//! particle subdomains that are thin rectangles with high aspect ratios and
+//! correspondingly larger communication perimeters.
+
+use crate::curve::CellIndexer;
+
+/// Snakelike indexer over a `width x height` mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnakeIndexer {
+    width: usize,
+    height: usize,
+}
+
+impl SnakeIndexer {
+    /// Build the indexer.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        Self { width, height }
+    }
+}
+
+impl CellIndexer for SnakeIndexer {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> u64 {
+        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
+        let x_in_row = if y.is_multiple_of(2) { x } else { self.width - 1 - x };
+        (y * self.width + x_in_row) as u64
+    }
+
+    #[inline]
+    fn coords(&self, idx: u64) -> (usize, usize) {
+        let idx = idx as usize;
+        assert!(idx < self.len(), "index {idx} outside mesh");
+        let y = idx / self.width;
+        let r = idx % self.width;
+        let x = if y.is_multiple_of(2) { r } else { self.width - 1 - r };
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_two_rows_snake() {
+        let s = SnakeIndexer::new(4, 4);
+        // row 0 left-to-right
+        assert_eq!(s.index(0, 0), 0);
+        assert_eq!(s.index(3, 0), 3);
+        // row 1 right-to-left
+        assert_eq!(s.index(3, 1), 4);
+        assert_eq!(s.index(0, 1), 7);
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbors() {
+        let s = SnakeIndexer::new(7, 5);
+        let mut prev = s.coords(0);
+        for d in 1..s.len() as u64 {
+            let cur = s.coords(d);
+            assert_eq!(prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1), 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_mesh() {
+        let s = SnakeIndexer::new(9, 6);
+        for y in 0..6 {
+            for x in 0..9 {
+                assert_eq!(s.coords(s.index(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn coords_out_of_range_panics() {
+        SnakeIndexer::new(3, 3).coords(9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the indexing schemes: bijectivity, inverse
+//! consistency, and the curve-order invariants the partitioner relies on.
+
+use pic_index::hilbert2d::{d2xy, xy2d};
+use pic_index::{Hilbert3d, IndexScheme};
+use proptest::prelude::*;
+
+proptest! {
+    /// Raw 2-D Hilbert conversion is self-inverse on random squares.
+    #[test]
+    fn hilbert2d_raw_roundtrip(order in 1u32..12, seed in any::<u64>()) {
+        let n = 1u64 << order;
+        let x = seed % n;
+        let y = (seed >> 32) % n;
+        let d = xy2d(order, x, y);
+        prop_assert!(d < n * n);
+        prop_assert_eq!(d2xy(order, d), (x, y));
+    }
+
+    /// Consecutive raw Hilbert indices are always grid neighbours.
+    #[test]
+    fn hilbert2d_unit_steps(order in 1u32..10, seed in any::<u64>()) {
+        let n = 1u64 << order;
+        let d = seed % (n * n - 1);
+        let a = d2xy(order, d);
+        let b = d2xy(order, d + 1);
+        prop_assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1);
+    }
+
+    /// Every scheme round-trips on arbitrary rectangular meshes.
+    #[test]
+    fn schemes_roundtrip(
+        w in 1usize..80,
+        h in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        for scheme in IndexScheme::ALL {
+            let ix = scheme.build(w, h);
+            let x = (seed as usize) % w;
+            let y = ((seed >> 32) as usize) % h;
+            let d = ix.index(x, y);
+            prop_assert!(d < (w * h) as u64, "{}: index out of range", scheme);
+            prop_assert_eq!(ix.coords(d), (x, y), "{}: roundtrip", scheme);
+        }
+    }
+
+    /// Every scheme is injective: two distinct cells never share an index.
+    #[test]
+    fn schemes_injective(
+        w in 1usize..40,
+        h in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let (x1, y1) = ((seed as usize) % w, ((seed >> 16) as usize) % h);
+        let (x2, y2) = (((seed >> 32) as usize) % w, ((seed >> 48) as usize) % h);
+        prop_assume!((x1, y1) != (x2, y2));
+        for scheme in IndexScheme::ALL {
+            let ix = scheme.build(w, h);
+            prop_assert_ne!(ix.index(x1, y1), ix.index(x2, y2), "{}", scheme);
+        }
+    }
+
+    /// 3-D Hilbert round-trips and stays in range.
+    #[test]
+    fn hilbert3d_roundtrip(order in 1u32..8, seed in any::<u64>()) {
+        let h = Hilbert3d::new(order);
+        let n = h.side();
+        let x = seed % n;
+        let y = (seed >> 21) % n;
+        let z = (seed >> 42) % n;
+        let d = h.index(x, y, z);
+        prop_assert!(d < h.len());
+        prop_assert_eq!(h.coords(d), (x, y, z));
+    }
+
+    /// 3-D Hilbert takes unit steps.
+    #[test]
+    fn hilbert3d_unit_steps(order in 1u32..6, seed in any::<u64>()) {
+        let h = Hilbert3d::new(order);
+        let d = seed % (h.len() - 1);
+        let a = h.coords(d);
+        let b = h.coords(d + 1);
+        let dist = a.0.abs_diff(b.0) + a.1.abs_diff(b.1) + a.2.abs_diff(b.2);
+        prop_assert_eq!(dist, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Byte accounting for message payloads.
+//!
+//! The machine charges μ per payload byte, so every message type must
+//! report its wire size.  Sizes model what the 1996 code would actually
+//! have sent (raw packed arrays), not Rust in-memory layouts.
+
+/// A message payload with a modeled wire size.
+pub trait Payload: Send {
+    /// Number of bytes this payload occupies on the wire.
+    fn size_bytes(&self) -> usize;
+}
+
+impl Payload for Vec<f64> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+impl Payload for Vec<f32> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 4
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+impl Payload for Vec<u32> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 4
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// `(grid index, value)` pairs — the scatter phase's coalesced ghost-point
+/// updates (4-byte packed index + 8-byte value, as a 1996 code would pack).
+impl Payload for Vec<(u32, f64)> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 12
+    }
+}
+
+/// `(grid index, Ex, Ey, Ez, Bx, By, Bz)` — gather-phase field replies.
+impl Payload for Vec<(u32, [f64; 6])> {
+    fn size_bytes(&self) -> usize {
+        self.len() * (4 + 48)
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes() + self.1.size_bytes()
+    }
+}
+
+impl Payload for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_reflect_element_width() {
+        assert_eq!(vec![1.0f64; 3].size_bytes(), 24);
+        assert_eq!(vec![1.0f32; 3].size_bytes(), 12);
+        assert_eq!(vec![1u8; 5].size_bytes(), 5);
+        assert_eq!(vec![(7u32, 1.0f64); 2].size_bytes(), 24);
+    }
+
+    #[test]
+    fn tuple_sums_components() {
+        let p = (vec![0u32; 2], vec![0.0f64; 1]);
+        assert_eq!(p.size_bytes(), 8 + 8);
+    }
+
+    #[test]
+    fn unit_is_free() {
+        assert_eq!(().size_bytes(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-superstep communication and timing statistics.
+//!
+//! These records are the raw material for every reproduced figure:
+//! Figure 17 plots per-iteration modeled time, Figures 18/19 the maximum
+//! scatter-phase data volume and message count over ranks, Figures 21/22
+//! the communication-plus-idle overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// Which PIC phase a superstep belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Particle contributions to current-density grid points.
+    Scatter,
+    /// Maxwell solve on the mesh.
+    FieldSolve,
+    /// Field values back to particles.
+    Gather,
+    /// Particle position/velocity update (no communication under the
+    /// direct Lagrangian method).
+    Push,
+    /// Particle redistribution (indexing + incremental sort + balance).
+    Redistribute,
+    /// Initial distribution / setup collectives.
+    Setup,
+    /// Anything else (tests, examples).
+    Other,
+}
+
+impl PhaseKind {
+    /// Stable label for CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::Scatter => "scatter",
+            PhaseKind::FieldSolve => "field_solve",
+            PhaseKind::Gather => "gather",
+            PhaseKind::Push => "push",
+            PhaseKind::Redistribute => "redistribute",
+            PhaseKind::Setup => "setup",
+            PhaseKind::Other => "other",
+        }
+    }
+}
+
+/// Aggregated statistics of one superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuperstepStats {
+    /// Phase this superstep implements.
+    pub phase: PhaseKind,
+    /// Maximum off-rank messages sent by any rank.
+    pub max_msgs_sent: u64,
+    /// Maximum off-rank messages received by any rank.
+    pub max_msgs_recv: u64,
+    /// Maximum off-rank bytes sent by any rank.
+    pub max_bytes_sent: u64,
+    /// Maximum off-rank bytes received by any rank.
+    pub max_bytes_recv: u64,
+    /// Total off-rank messages across ranks.
+    pub total_msgs: u64,
+    /// Total off-rank bytes across ranks.
+    pub total_bytes: u64,
+    /// Maximum modeled compute seconds over ranks.
+    pub max_compute_s: f64,
+    /// Maximum modeled communication seconds over ranks.
+    pub max_comm_s: f64,
+    /// Superstep duration: maximum over ranks of compute + comm.
+    pub elapsed_s: f64,
+}
+
+impl SuperstepStats {
+    /// An empty record for `phase`.
+    pub fn empty(phase: PhaseKind) -> Self {
+        Self {
+            phase,
+            max_msgs_sent: 0,
+            max_msgs_recv: 0,
+            max_bytes_sent: 0,
+            max_bytes_recv: 0,
+            total_msgs: 0,
+            total_bytes: 0,
+            max_compute_s: 0.0,
+            max_comm_s: 0.0,
+            elapsed_s: 0.0,
+        }
+    }
+}
+
+/// Append-only log of superstep statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsLog {
+    records: Vec<SuperstepStats>,
+}
+
+impl StatsLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one superstep.
+    pub fn push(&mut self, s: SuperstepStats) {
+        self.records.push(s);
+    }
+
+    /// All records in execution order.
+    pub fn records(&self) -> &[SuperstepStats] {
+        &self.records
+    }
+
+    /// Drain the log, returning the records accumulated so far.  The PIC
+    /// driver drains once per iteration to build per-iteration summaries.
+    pub fn drain(&mut self) -> Vec<SuperstepStats> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Total modeled elapsed seconds across recorded supersteps.
+    pub fn elapsed_s(&self) -> f64 {
+        self.records.iter().map(|r| r.elapsed_s).sum()
+    }
+
+    /// Records of one phase.
+    pub fn phase(&self, phase: PhaseKind) -> impl Iterator<Item = &SuperstepStats> {
+        self.records.iter().filter(move |r| r.phase == phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_sums_records() {
+        let mut log = StatsLog::new();
+        let mut a = SuperstepStats::empty(PhaseKind::Scatter);
+        a.elapsed_s = 1.5;
+        let mut b = SuperstepStats::empty(PhaseKind::Gather);
+        b.elapsed_s = 0.5;
+        log.push(a);
+        log.push(b);
+        assert!((log.elapsed_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_filter_selects_matching_records() {
+        let mut log = StatsLog::new();
+        log.push(SuperstepStats::empty(PhaseKind::Scatter));
+        log.push(SuperstepStats::empty(PhaseKind::Push));
+        log.push(SuperstepStats::empty(PhaseKind::Scatter));
+        assert_eq!(log.phase(PhaseKind::Scatter).count(), 2);
+        assert_eq!(log.phase(PhaseKind::Gather).count(), 0);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let mut log = StatsLog::new();
+        log.push(SuperstepStats::empty(PhaseKind::Other));
+        let drained = log.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PhaseKind::Scatter.label(), "scatter");
+        assert_eq!(PhaseKind::FieldSolve.label(), "field_solve");
+        assert_eq!(PhaseKind::Redistribute.label(), "redistribute");
+    }
+}

@@ -1,0 +1,149 @@
+//! The push phase: the relativistic Boris pusher.
+//!
+//! "The force obtained from the gather phase moves particles to their new
+//! positions" (paper Section 2).  The de-facto standard integrator for
+//! relativistic electromagnetic PIC is the Boris scheme: a half electric
+//! kick, a magnetic rotation, and a second half kick, followed by the
+//! position update with the relativistic velocity `u / gamma`.
+
+/// Fields acting on one particle for one time step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BorisStep {
+    /// Electric field at the particle.
+    pub e: [f64; 3],
+    /// Magnetic field at the particle.
+    pub b: [f64; 3],
+}
+
+/// Advance one particle's normalized momentum `u = p / (m c)` by `dt`
+/// under `fields`, with charge-to-mass ratio `qm` (normalized units,
+/// `c = 1`).  Returns the new momentum; the caller updates positions with
+/// `x += u / gamma * dt`.
+#[inline]
+pub fn boris_push(u: [f64; 3], fields: &BorisStep, qm: f64, dt: f64) -> [f64; 3] {
+    let half = 0.5 * qm * dt;
+    // half electric kick
+    let um = [
+        u[0] + half * fields.e[0],
+        u[1] + half * fields.e[1],
+        u[2] + half * fields.e[2],
+    ];
+    // magnetic rotation at the mid-step Lorentz factor
+    let gamma_m = (1.0 + um[0] * um[0] + um[1] * um[1] + um[2] * um[2]).sqrt();
+    let t = [
+        half * fields.b[0] / gamma_m,
+        half * fields.b[1] / gamma_m,
+        half * fields.b[2] / gamma_m,
+    ];
+    let t2 = t[0] * t[0] + t[1] * t[1] + t[2] * t[2];
+    let s = [
+        2.0 * t[0] / (1.0 + t2),
+        2.0 * t[1] / (1.0 + t2),
+        2.0 * t[2] / (1.0 + t2),
+    ];
+    let uprime = [
+        um[0] + um[1] * t[2] - um[2] * t[1],
+        um[1] + um[2] * t[0] - um[0] * t[2],
+        um[2] + um[0] * t[1] - um[1] * t[0],
+    ];
+    let up = [
+        um[0] + uprime[1] * s[2] - uprime[2] * s[1],
+        um[1] + uprime[2] * s[0] - uprime[0] * s[2],
+        um[2] + uprime[0] * s[1] - uprime[1] * s[0],
+    ];
+    // second half electric kick
+    [
+        up[0] + half * fields.e[0],
+        up[1] + half * fields.e[1],
+        up[2] + half * fields.e[2],
+    ]
+}
+
+/// Lorentz factor of a normalized momentum.
+#[inline]
+pub fn gamma_of(u: [f64; 3]) -> f64 {
+    (1.0 + u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_particle_keeps_momentum() {
+        let u = [0.3, -0.2, 0.1];
+        let got = boris_push(u, &BorisStep::default(), -1.0, 0.1);
+        assert_eq!(got, u);
+    }
+
+    #[test]
+    fn electric_field_accelerates_linearly() {
+        // dU/dt = qm * E exactly under Boris with B = 0
+        let fields = BorisStep { e: [1.0, 0.0, 0.0], b: [0.0; 3] };
+        let u = boris_push([0.0; 3], &fields, -1.0, 0.01);
+        assert!((u[0] + 0.01).abs() < 1e-15, "{u:?}");
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn magnetic_field_preserves_speed() {
+        // pure magnetic rotation is norm-preserving to machine precision
+        let fields = BorisStep { e: [0.0; 3], b: [0.0, 0.0, 2.0] };
+        let mut u: [f64; 3] = [0.4, 0.0, 0.0];
+        let norm0 = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+        for _ in 0..1000 {
+            u = boris_push(u, &fields, -1.0, 0.05);
+        }
+        let norm1 = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+        assert!((norm0 - norm1).abs() < 1e-12, "|u| drifted {norm0} -> {norm1}");
+    }
+
+    #[test]
+    fn magnetic_rotation_is_circular() {
+        // in-plane momentum rotates; z stays zero for Bz-only field
+        let fields = BorisStep { e: [0.0; 3], b: [0.0, 0.0, 1.0] };
+        let mut u = [0.1, 0.0, 0.0];
+        let mut seen_negative_x = false;
+        for _ in 0..200 {
+            u = boris_push(u, &fields, -1.0, 0.1);
+            assert_eq!(u[2], 0.0);
+            if u[0] < -0.05 {
+                seen_negative_x = true;
+            }
+        }
+        assert!(seen_negative_x, "momentum never rotated");
+    }
+
+    #[test]
+    fn gamma_matches_definition() {
+        assert_eq!(gamma_of([0.0; 3]), 1.0);
+        assert!((gamma_of([3.0, 0.0, 4.0]) - 26f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relativistic_speed_saturates_below_c() {
+        // enormous kick; velocity u/gamma must stay < 1 (= c)
+        let fields = BorisStep { e: [1e6, 0.0, 0.0], b: [0.0; 3] };
+        let u = boris_push([0.0; 3], &fields, -1.0, 1.0);
+        let v = u[0].abs() / gamma_of(u);
+        assert!(v < 1.0, "superluminal v = {v}");
+        assert!(v > 0.999, "relativistic limit not reached: {v}");
+    }
+
+    #[test]
+    fn e_cross_b_drift_direction() {
+        // E x B drift: E along y, B along z -> drift along x for any charge
+        let fields = BorisStep { e: [0.0, 0.1, 0.0], b: [0.0, 0.0, 1.0] };
+        let mut u = [0.0; 3];
+        let mut x_displacement = 0.0;
+        for _ in 0..2000 {
+            u = boris_push(u, &fields, -1.0, 0.05);
+            x_displacement += u[0] / gamma_of(u) * 0.05;
+        }
+        // drift velocity E x B / B^2 = (0.1, 0, 0) -> displacement ~ 10
+        assert!(
+            (x_displacement - 10.0).abs() < 1.0,
+            "drift displacement {x_displacement}"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Cloud-in-cell (bilinear) interpolation weights.
+//!
+//! Paper Figure 3: "Using a linear interpolation scheme each particle
+//! scatters its contributions to the current mesh grid points at the
+//! vertices of the cell in which it lies", and the gather phase uses the
+//! same four weights in reverse.  [`Cic`] computes the cell and the four
+//! vertex weights once per particle per phase.
+
+/// The cell containing a particle and its four vertex weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cic {
+    /// Cell x index (lower-left vertex x).
+    pub ix: usize,
+    /// Cell y index (lower-left vertex y).
+    pub iy: usize,
+    /// Weights for vertices in order (ix,iy), (ix+1,iy), (ix,iy+1),
+    /// (ix+1,iy+1).  Non-negative, sum to 1.
+    pub w: [f64; 4],
+}
+
+impl Cic {
+    /// Compute the cell and weights of a particle at `(x, y)` on a mesh of
+    /// `nx x ny` cells of size `dx x dy` with periodic vertices.
+    ///
+    /// Positions must already be wrapped into `[0, nx*dx) x [0, ny*dy)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the position is outside the domain.
+    #[inline]
+    pub fn new(x: f64, y: f64, dx: f64, dy: f64, nx: usize, ny: usize) -> Self {
+        debug_assert!(
+            (0.0..nx as f64 * dx).contains(&x) && (0.0..ny as f64 * dy).contains(&y),
+            "position ({x},{y}) outside domain"
+        );
+        let fx = x / dx;
+        let fy = y / dy;
+        // clamp guards the fx == nx edge case from floating-point roundoff
+        let ix = (fx as usize).min(nx - 1);
+        let iy = (fy as usize).min(ny - 1);
+        let ax = fx - ix as f64;
+        let ay = fy - iy as f64;
+        Self {
+            ix,
+            iy,
+            w: [
+                (1.0 - ax) * (1.0 - ay),
+                ax * (1.0 - ay),
+                (1.0 - ax) * ay,
+                ax * ay,
+            ],
+        }
+    }
+
+    /// The four vertex grid points, wrapped periodically onto an
+    /// `nx x ny` vertex grid.
+    #[inline]
+    pub fn corners(&self, nx: usize, ny: usize) -> [(usize, usize); 4] {
+        let xp = (self.ix + 1) % nx;
+        let yp = (self.iy + 1) % ny;
+        [
+            (self.ix, self.iy),
+            (xp, self.iy),
+            (self.ix, yp),
+            (xp, yp),
+        ]
+    }
+
+    /// Interpolate a per-vertex quantity to the particle: dot product of
+    /// the weights with the four vertex values (in corner order).
+    #[inline]
+    pub fn interpolate(&self, v: [f64; 4]) -> f64 {
+        self.w[0] * v[0] + self.w[1] * v[1] + self.w[2] * v[2] + self.w[3] * v[3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one_and_are_nonnegative() {
+        for &(x, y) in &[(0.0, 0.0), (3.7, 2.2), (7.999, 3.999), (0.5, 3.5)] {
+            let c = Cic::new(x, y, 1.0, 1.0, 8, 4);
+            let sum: f64 = c.w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "({x},{y})");
+            assert!(c.w.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn particle_at_vertex_gives_unit_weight() {
+        let c = Cic::new(3.0, 2.0, 1.0, 1.0, 8, 8);
+        assert_eq!(c.ix, 3);
+        assert_eq!(c.iy, 2);
+        assert_eq!(c.w, [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn particle_at_cell_center_gives_quarter_weights() {
+        let c = Cic::new(3.5, 2.5, 1.0, 1.0, 8, 8);
+        for &w in &c.w {
+            assert!((w - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corners_wrap_periodically() {
+        let c = Cic::new(7.5, 3.5, 1.0, 1.0, 8, 4);
+        assert_eq!(c.corners(8, 4), [(7, 3), (0, 3), (7, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn interpolation_reconstructs_linear_fields() {
+        // A field linear in x must interpolate exactly.
+        let field = |x: f64| 2.0 * x + 1.0;
+        let c = Cic::new(2.3, 1.0, 1.0, 1.0, 8, 8);
+        let vals = [
+            field(c.ix as f64),
+            field(c.ix as f64 + 1.0),
+            field(c.ix as f64),
+            field(c.ix as f64 + 1.0),
+        ];
+        assert!((c.interpolate(vals) - field(2.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonunit_cell_sizes() {
+        let c = Cic::new(1.25, 0.75, 0.5, 0.25, 8, 8);
+        assert_eq!(c.ix, 2);
+        assert_eq!(c.iy, 3);
+        assert!((c.w[0] - 0.5).abs() < 1e-12); // ax=0.5, ay=0 -> w0=0.5
+    }
+
+    #[test]
+    fn roundoff_at_domain_edge_is_clamped() {
+        // The largest representable position below the domain edge must
+        // land in the last cell even if x/dx rounds up to exactly nx.
+        let x = 8.0f64.next_down();
+        let c = Cic::new(x, 0.0, 1.0, 1.0, 8, 8);
+        assert_eq!(c.ix, 7);
+        // and with a cell size whose division is inexact
+        let x = (49.0f64 * 0.2).next_down();
+        let c = Cic::new(x, 0.0, 0.2, 0.2, 49, 49);
+        assert_eq!(c.ix, 48);
+    }
+}

@@ -1,0 +1,51 @@
+//! Periodic boundary handling for particle positions.
+
+/// Wrap `x` into `[0, l)`.
+///
+/// Handles any finite input, including large negative positions, and
+/// guards the `x == l` edge produced by floating-point wrap-around.
+#[inline]
+pub fn wrap_periodic(x: f64, l: f64) -> f64 {
+    debug_assert!(l > 0.0, "domain length must be positive");
+    let mut w = x % l;
+    if w < 0.0 {
+        w += l;
+    }
+    // x % l can return exactly l after the negative fix-up when x is a
+    // tiny negative number; fold it back to 0.
+    if w >= l {
+        w = 0.0;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_unchanged() {
+        assert_eq!(wrap_periodic(3.5, 10.0), 3.5);
+        assert_eq!(wrap_periodic(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn wraps_positive_overflow() {
+        assert!((wrap_periodic(13.5, 10.0) - 3.5).abs() < 1e-12);
+        assert!((wrap_periodic(107.0, 10.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wraps_negative() {
+        assert!((wrap_periodic(-1.0, 10.0) - 9.0).abs() < 1e-12);
+        assert!((wrap_periodic(-21.0, 10.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_always_in_half_open_range() {
+        for &x in &[-1e-18, -10.0, 9.999999999, 1e9, -1e9, 0.1] {
+            let w = wrap_periodic(x, 10.0);
+            assert!((0.0..10.0).contains(&w), "wrap({x}) = {w}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Order-maintaining load balance.
+//!
+//! After the incremental sort, per-rank particle counts can drift from
+//! equal.  "An order-maintaining load balance operation moves extra
+//! particles to appropriate destinations such that the global order of
+//! the concatenated particle array does not change" (paper Section 5.1).
+//!
+//! Every rank knows all counts (one global concatenation of counts), so
+//! each can compute, for each contiguous run of its *sorted* local
+//! particles, the destination rank from the run's global positions — no
+//! negotiation needed, and the global order is preserved by construction.
+
+use std::ops::Range;
+
+/// Balanced target counts: `total / p` each, with the first `total % p`
+/// ranks taking one extra.
+pub fn balance_targets(counts: &[usize]) -> Vec<usize> {
+    assert!(!counts.is_empty(), "no ranks");
+    let p = counts.len();
+    let total: usize = counts.iter().sum();
+    let base = total / p;
+    let extra = total % p;
+    (0..p).map(|r| base + usize::from(r < extra)).collect()
+}
+
+/// The moves one balance pass performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalancePlan {
+    /// `moves[src]` lists `(dest, local_range)` pairs: the particles at
+    /// `local_range` of `src`'s sorted array go to `dest`.  Ranges with
+    /// `dest == src` are omitted; the remaining local particles stay.
+    pub moves: Vec<Vec<(usize, Range<usize>)>>,
+    /// Target count of every rank after the plan is applied.
+    pub targets: Vec<usize>,
+}
+
+impl BalancePlan {
+    /// Total particles that change ranks under this plan.
+    pub fn moved(&self) -> usize {
+        self.moves
+            .iter()
+            .flatten()
+            .map(|(_, r)| r.len())
+            .sum()
+    }
+}
+
+/// Compute the order-maintaining balance plan from per-rank counts.
+pub fn order_maintaining_balance(counts: &[usize]) -> BalancePlan {
+    let p = counts.len();
+    let targets = balance_targets(counts);
+    // global position boundaries of the target layout
+    let mut target_start = vec![0usize; p + 1];
+    for r in 0..p {
+        target_start[r + 1] = target_start[r] + targets[r];
+    }
+    let mut moves: Vec<Vec<(usize, Range<usize>)>> = vec![Vec::new(); p];
+    let mut src_start = 0usize;
+    for (src, &cnt) in counts.iter().enumerate() {
+        let src_range = src_start..src_start + cnt;
+        // overlap [src_range] with each target interval
+        for dest in 0..p {
+            let lo = src_range.start.max(target_start[dest]);
+            let hi = src_range.end.min(target_start[dest + 1]);
+            if lo < hi && dest != src {
+                moves[src].push((dest, lo - src_start..hi - src_start));
+            }
+        }
+        src_start += cnt;
+    }
+    BalancePlan { moves, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Apply a plan to per-rank sorted arrays and return the new arrays.
+    fn apply(plan: &BalancePlan, ranks: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let p = ranks.len();
+        let mut incoming: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); p];
+        let mut keep: Vec<Vec<u64>> = Vec::with_capacity(p);
+        for (src, local) in ranks.iter().enumerate() {
+            let mut taken = vec![false; local.len()];
+            for (dest, range) in &plan.moves[src] {
+                incoming[*dest].push((src, local[range.clone()].to_vec()));
+                for i in range.clone() {
+                    taken[i] = true;
+                }
+            }
+            keep.push(
+                local
+                    .iter()
+                    .zip(&taken)
+                    .filter(|&(_, &t)| !t)
+                    .map(|(&v, _)| v)
+                    .collect(),
+            );
+        }
+        // merge by source rank order around the kept particles: sources
+        // below self prepend, sources above append (order maintenance)
+        let mut out = Vec::with_capacity(p);
+        for (r, kept) in keep.into_iter().enumerate() {
+            let mut v = Vec::new();
+            incoming[r].sort_by_key(|&(src, _)| src);
+            for (src, chunk) in &incoming[r] {
+                if *src < r {
+                    v.extend_from_slice(chunk);
+                }
+            }
+            v.extend_from_slice(&kept);
+            for (src, chunk) in &incoming[r] {
+                if *src > r {
+                    v.extend_from_slice(chunk);
+                }
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn targets_differ_by_at_most_one() {
+        let t = balance_targets(&[10, 0, 5, 1]);
+        assert_eq!(t.iter().sum::<usize>(), 16);
+        assert_eq!(t, vec![4, 4, 4, 4]);
+        let t = balance_targets(&[10, 0, 5]);
+        assert_eq!(t, vec![5, 5, 5]);
+        let t = balance_targets(&[3, 3, 4]);
+        assert_eq!(t, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn plan_achieves_targets_and_preserves_order() {
+        let ranks: Vec<Vec<u64>> = vec![
+            (0..12).collect(),   // overloaded
+            (12..13).collect(),  // nearly empty
+            (13..20).collect(),
+            vec![],              // empty
+        ];
+        let counts: Vec<usize> = ranks.iter().map(Vec::len).collect();
+        let plan = order_maintaining_balance(&counts);
+        let after = apply(&plan, &ranks);
+        for (r, v) in after.iter().enumerate() {
+            assert_eq!(v.len(), plan.targets[r], "rank {r}");
+        }
+        let flat: Vec<u64> = after.into_iter().flatten().collect();
+        let expect: Vec<u64> = (0..20).collect();
+        assert_eq!(flat, expect, "global order changed");
+    }
+
+    #[test]
+    fn balanced_input_moves_nothing() {
+        let plan = order_maintaining_balance(&[5, 5, 5, 5]);
+        assert_eq!(plan.moved(), 0);
+    }
+
+    #[test]
+    fn single_rank_needs_no_moves() {
+        let plan = order_maintaining_balance(&[42]);
+        assert_eq!(plan.moved(), 0);
+        assert_eq!(plan.targets, vec![42]);
+    }
+
+    #[test]
+    fn extreme_imbalance_spreads_everything() {
+        let ranks: Vec<Vec<u64>> = vec![(0..16).collect(), vec![], vec![], vec![]];
+        let counts: Vec<usize> = ranks.iter().map(Vec::len).collect();
+        let plan = order_maintaining_balance(&counts);
+        assert_eq!(plan.moved(), 12);
+        let after = apply(&plan, &ranks);
+        assert!(after.iter().all(|v| v.len() == 4));
+        let flat: Vec<u64> = after.into_iter().flatten().collect();
+        assert_eq!(flat, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn moves_target_contiguous_global_slots() {
+        let plan = order_maintaining_balance(&[0, 10, 0]);
+        // rank 1 must ship its first 4 to rank 0 and last 3 to rank 2
+        assert_eq!(plan.targets, vec![4, 3, 3]);
+        assert_eq!(plan.moves[1], vec![(0, 0..4), (2, 7..10)]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Cost model vs machine: do the Section-4 closed-form bounds actually
+//! bound the simulated phase times?
+//!
+//! Evaluates the paper's `T_scatter`, `T_fields`, `T_gather`, `T_push`
+//! formulas for the evaluation configurations and compares them against
+//! the per-phase times charged by the virtual machine.
+//!
+//! ```text
+//! cargo run --release --example cost_model
+//! ```
+
+use pic1996::prelude::*;
+use pic_core::ideal_bounds;
+use pic_particles::ParticleDistribution;
+
+fn main() {
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "configuration", "phase", "bound", "simulated", "ratio"
+    );
+    for (nx, ny, n, p) in [
+        (128usize, 64usize, 32_768usize, 32usize),
+        (256, 128, 65_536, 32),
+        (256, 128, 65_536, 64),
+    ] {
+        let cfg = SimConfig {
+            nx,
+            ny,
+            particles: n,
+            distribution: ParticleDistribution::Uniform,
+            machine: MachineConfig::cm5(p),
+            policy: pic_partition::PolicyKind::Static,
+            ..SimConfig::paper_default()
+        };
+        let bounds = ideal_bounds(&cfg.machine, n, nx * ny, 28);
+        let mut sim = ParallelPicSim::new(cfg);
+        let report = sim.run(20);
+        let iters = 20.0;
+        let b = report.breakdown;
+        let label = format!("{nx}x{ny} n={n} p={p}");
+        for (phase, bound, simulated) in [
+            ("scatter", bounds.scatter_s, b.scatter_s / iters),
+            ("fields", bounds.fields_s, b.field_solve_s / iters),
+            ("gather", bounds.gather_s, b.gather_s / iters),
+            ("push", bounds.push_s, b.push_s / iters),
+        ] {
+            println!(
+                "{:<28} {:>10} {:>10.4} {:>10.4} {:>10.2}",
+                label,
+                phase,
+                bound,
+                simulated,
+                simulated / bound
+            );
+        }
+        println!(
+            "{:<28} {:>10} {:>10.4} {:>10.4}",
+            "", "TOTAL", bounds.total_s(), (b.scatter_s + b.field_solve_s + b.gather_s + b.push_s) / iters
+        );
+        println!();
+    }
+    println!("ratios near 1 mean the Section-4 model tracks the machine; slight");
+    println!("excess is expected because the machine charges both the sending and");
+    println!("receiving end of every message while the paper's bound counts one.");
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every table and figure of the IPPS'96 evaluation.
+# Full scale takes ~25 minutes on one core; pass --quick to smoke-test.
+set -e
+cd "$(dirname "$0")"
+ARGS="$@"
+for bin in table1_strategies fig16_static_vs_periodic fig17_iteration_time \
+           fig18_scatter_data fig19_scatter_messages fig20_dynamic_policy \
+           table2_time table3_efficiency fig21_overhead_uniform fig22_overhead_irregular \
+           baseline_replicated ablation_machine ablation_dedup; do
+    echo "=== $bin ==="
+    cargo run --release -q -p pic-bench --bin "$bin" -- $ARGS
+    echo
+done

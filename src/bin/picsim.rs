@@ -1,0 +1,202 @@
+//! `picsim` — command-line driver for the parallel PIC simulation.
+//!
+//! Runs a configurable simulation on the virtual machine and prints the
+//! per-iteration trace and run summary (optionally as CSV), so the
+//! system can be explored without writing Rust:
+//!
+//! ```text
+//! cargo run --release --bin picsim -- \
+//!     --nx 128 --ny 64 --particles 32768 --ranks 32 \
+//!     --distribution irregular --scheme hilbert --policy dynamic \
+//!     --iters 200 --csv trace.csv
+//! ```
+
+use std::fs::File;
+use std::io::Write as _;
+
+use pic1996::prelude::*;
+use pic_particles::ParticleDistribution;
+
+struct Args {
+    nx: usize,
+    ny: usize,
+    particles: usize,
+    ranks: usize,
+    iters: usize,
+    distribution: ParticleDistribution,
+    scheme: IndexScheme,
+    policy: PolicyKind,
+    thermal_u: f64,
+    seed: u64,
+    csv: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: picsim [--nx N] [--ny N] [--particles N] [--ranks P] [--iters N]\n\
+         \x20             [--distribution uniform|irregular|two_stream|ring]\n\
+         \x20             [--scheme hilbert|snake|rowmajor|morton]\n\
+         \x20             [--policy static|dynamic|periodic:K]\n\
+         \x20             [--thermal U] [--seed S] [--csv FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nx: 128,
+        ny: 64,
+        particles: 32_768,
+        ranks: 32,
+        iters: 200,
+        distribution: ParticleDistribution::IrregularCenter,
+        scheme: IndexScheme::Hilbert,
+        policy: PolicyKind::DynamicSar,
+        thermal_u: 0.5,
+        seed: 1996,
+        csv: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match flag {
+            "--nx" => args.nx = value.parse().unwrap_or_else(|_| usage()),
+            "--ny" => args.ny = value.parse().unwrap_or_else(|_| usage()),
+            "--particles" => args.particles = value.parse().unwrap_or_else(|_| usage()),
+            "--ranks" => args.ranks = value.parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = value.parse().unwrap_or_else(|_| usage()),
+            "--thermal" => args.thermal_u = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--csv" => args.csv = Some(value.clone()),
+            "--distribution" => {
+                args.distribution = match value.as_str() {
+                    "uniform" => ParticleDistribution::Uniform,
+                    "irregular" => ParticleDistribution::IrregularCenter,
+                    "two_stream" => ParticleDistribution::TwoStream,
+                    "ring" => ParticleDistribution::Ring,
+                    _ => usage(),
+                }
+            }
+            "--scheme" => {
+                args.scheme = match value.as_str() {
+                    "hilbert" => IndexScheme::Hilbert,
+                    "snake" => IndexScheme::Snake,
+                    "rowmajor" => IndexScheme::RowMajor,
+                    "morton" => IndexScheme::Morton,
+                    _ => usage(),
+                }
+            }
+            "--policy" => {
+                args.policy = match value.as_str() {
+                    "static" => PolicyKind::Static,
+                    "dynamic" => PolicyKind::DynamicSar,
+                    other => match other.strip_prefix("periodic:") {
+                        Some(k) => PolicyKind::Periodic(k.parse().unwrap_or_else(|_| usage())),
+                        None => usage(),
+                    },
+                }
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+    // reject values the simulation would panic on, with a readable error
+    if args.ranks == 0 {
+        eprintln!("picsim: --ranks must be at least 1");
+        std::process::exit(2);
+    }
+    if let PolicyKind::Periodic(0) = args.policy {
+        eprintln!("picsim: --policy periodic:K needs K >= 1");
+        std::process::exit(2);
+    }
+    if args.particles < args.ranks {
+        eprintln!(
+            "picsim: need at least as many particles ({}) as ranks ({})",
+            args.particles, args.ranks
+        );
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = SimConfig {
+        nx: a.nx,
+        ny: a.ny,
+        particles: a.particles,
+        distribution: a.distribution,
+        scheme: a.scheme,
+        policy: a.policy,
+        machine: MachineConfig::cm5(a.ranks),
+        thermal_u: a.thermal_u,
+        seed: a.seed,
+        ..SimConfig::paper_default()
+    };
+    println!(
+        "picsim: {}x{} mesh, {} particles ({}), {} ranks, {} indexing, {} policy, {} iterations",
+        cfg.nx,
+        cfg.ny,
+        cfg.particles,
+        cfg.distribution,
+        cfg.machine.ranks,
+        cfg.scheme,
+        cfg.policy.label(),
+        a.iters
+    );
+
+    let wall = std::time::Instant::now();
+    let mut sim = ParallelPicSim::new(cfg);
+    let report = sim.run(a.iters);
+    let wall = wall.elapsed();
+
+    if let Some(path) = &a.csv {
+        let mut f = File::create(path).expect("create csv file");
+        writeln!(
+            f,
+            "iter,time_s,compute_s,comm_s,scatter_bytes_sent,scatter_msgs_sent,redistributed,redistribute_s"
+        )
+        .unwrap();
+        for r in &report.iterations {
+            writeln!(
+                f,
+                "{},{:.6},{:.6},{:.6},{},{},{},{:.6}",
+                r.iter,
+                r.time_s,
+                r.compute_s,
+                r.comm_s,
+                r.scatter_max_bytes_sent,
+                r.scatter_max_msgs_sent,
+                u8::from(r.redistributed),
+                r.redistribute_s
+            )
+            .unwrap();
+        }
+        println!("per-iteration trace written to {path}");
+    }
+
+    let e = sim.energy();
+    println!("\nmodeled total     : {:.2} s", report.total_s);
+    println!("  computation     : {:.2} s", report.compute_s);
+    println!("  overhead        : {:.2} s", report.overhead_s);
+    println!(
+        "  redistributions : {} (cost {:.2} s)",
+        report.redistributions, report.redistribute_total_s
+    );
+    println!(
+        "phase split       : scatter {:.2} / fields {:.2} / gather {:.2} / push {:.2} s",
+        report.breakdown.scatter_s,
+        report.breakdown.field_solve_s,
+        report.breakdown.gather_s,
+        report.breakdown.push_s
+    );
+    println!(
+        "energy            : kinetic {:.3}, field {:.3} ({} particles)",
+        e.kinetic,
+        e.field,
+        sim.total_particles()
+    );
+    println!("host wall clock   : {wall:.2?}");
+}

