@@ -70,5 +70,10 @@ fn bench_indexer_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_raw_curve, bench_indexer_lookup, bench_indexer_build);
+criterion_group!(
+    benches,
+    bench_raw_curve,
+    bench_indexer_lookup,
+    bench_indexer_build
+);
 criterion_main!(benches);

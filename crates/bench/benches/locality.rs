@@ -29,7 +29,12 @@ fn bench_alignment_report(c: &mut Criterion) {
     let n = 8192;
     let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37) % 128.0).collect();
     let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61) % 64.0).collect();
-    let own = pic_field::Rect { x0: 32, y0: 16, w: 16, h: 16 };
+    let own = pic_field::Rect {
+        x0: 32,
+        y0: 16,
+        w: 16,
+        h: 16,
+    };
     c.bench_function("alignment_report_8k_particles", |b| {
         b.iter(|| {
             black_box(alignment_report(

@@ -22,7 +22,9 @@ fn nearly_sorted(n: usize, displacement: u64) -> Vec<u64> {
 }
 
 fn shuffled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| (i * 2654435761) % (n as u64 * 16)).collect()
+    (0..n as u64)
+        .map(|i| (i * 2654435761) % (n as u64 * 16))
+        .collect()
 }
 
 fn bench_incremental_vs_full(c: &mut Criterion) {
@@ -69,5 +71,9 @@ fn bench_bucket_count_sensitivity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_incremental_vs_full, bench_bucket_count_sensitivity);
+criterion_group!(
+    benches,
+    bench_incremental_vs_full,
+    bench_bucket_count_sensitivity
+);
 criterion_main!(benches);

@@ -23,7 +23,9 @@ use pic_partition::PolicyKind;
 fn main() {
     let iters = iters_from_args(100);
     let p = 32;
-    println!("Machine ablation: efficiency vs particles-per-processor, p = {p}, {iters} iterations\n");
+    println!(
+        "Machine ablation: efficiency vs particles-per-processor, p = {p}, {iters} iterations\n"
+    );
     println!(
         "{:<12} {:>10} {:>12} {:>12}",
         "machine", "n/p", "total (s)", "efficiency"

@@ -14,7 +14,11 @@ use pic_partition::PolicyKind;
 
 fn main() {
     let iters = iters_from_args(2000);
-    let sizes = [(128usize, 64usize, 32_768usize), (256, 128, 65_536), (256, 128, 131_072)];
+    let sizes = [
+        (128usize, 64usize, 32_768usize),
+        (256, 128, 65_536),
+        (256, 128, 131_072),
+    ];
     let policies = [
         PolicyKind::Static,
         PolicyKind::Periodic(200),

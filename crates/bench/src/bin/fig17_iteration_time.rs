@@ -70,10 +70,7 @@ fn main() {
     println!(
         "{}",
         pic_bench::render_chart(
-            &[
-                ("static", &series[0]),
-                ("periodic(25)", &series[2]),
-            ],
+            &[("static", &series[0]), ("periodic(25)", &series[2]),],
             72,
             14,
         )

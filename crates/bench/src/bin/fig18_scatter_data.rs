@@ -81,7 +81,10 @@ fn main() {
     println!(
         "{}",
         pic_bench::render_chart(
-            &[("static sent", &static_sent), ("periodic(25) sent", &periodic_sent)],
+            &[
+                ("static sent", &static_sent),
+                ("periodic(25) sent", &periodic_sent)
+            ],
             72,
             14,
         )

@@ -58,9 +58,15 @@ fn main() {
     let (dyn_total, dyn_redist, dyn_count) = run(PolicyKind::DynamicSar);
     println!(
         "{:<16} {:>10.2} {:>12.2} {:>12.2} {:>9}",
-        "dynamic", dyn_total, dyn_total - dyn_redist, dyn_redist, dyn_count
+        "dynamic",
+        dyn_total,
+        dyn_total - dyn_redist,
+        dyn_redist,
+        dyn_count
     );
-    rows.push(format!("dynamic,{dyn_total:.4},{dyn_redist:.4},{dyn_count}"));
+    rows.push(format!(
+        "dynamic,{dyn_total:.4},{dyn_redist:.4},{dyn_count}"
+    ));
     let (stat_total, _, _) = run(PolicyKind::Static);
     println!("{:<16} {:>10.2}", "static", stat_total);
     rows.push(format!("static,{stat_total:.4},0,0"));

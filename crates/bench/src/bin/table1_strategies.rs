@@ -21,14 +21,53 @@ fn main() {
     let iters = iters_from_args(100);
 
     println!("Table 1 (analytic, from the paper):\n");
-    println!("{:<14} {:<12} {:<14} {:<14} {:<22}", "movement", "partition", "field balance", "ptcl balance", "communication");
+    println!(
+        "{:<14} {:<12} {:<14} {:<14} {:<22}",
+        "movement", "partition", "field balance", "ptcl balance", "communication"
+    );
     for (mv, part, fb, pb, comm) in [
-        ("Eulerian", "grid", "balanced", "unbalanced", "local (boundaries)"),
-        ("Eulerian", "particle", "unbalanced", "unbalanced", "local (boundaries)"),
-        ("Eulerian", "independent", "balanced", "unbalanced", "non-local (subdomain diff)"),
-        ("Lagrangian", "grid", "balanced", "unbalanced", "non-local (subdomain diff)"),
-        ("Lagrangian", "particle", "unbalanced", "balanced", "non-local (subdomain diff)"),
-        ("Lagrangian", "independent", "balanced", "balanced", "non-local (subdomain diff)"),
+        (
+            "Eulerian",
+            "grid",
+            "balanced",
+            "unbalanced",
+            "local (boundaries)",
+        ),
+        (
+            "Eulerian",
+            "particle",
+            "unbalanced",
+            "unbalanced",
+            "local (boundaries)",
+        ),
+        (
+            "Eulerian",
+            "independent",
+            "balanced",
+            "unbalanced",
+            "non-local (subdomain diff)",
+        ),
+        (
+            "Lagrangian",
+            "grid",
+            "balanced",
+            "unbalanced",
+            "non-local (subdomain diff)",
+        ),
+        (
+            "Lagrangian",
+            "particle",
+            "unbalanced",
+            "balanced",
+            "non-local (subdomain diff)",
+        ),
+        (
+            "Lagrangian",
+            "independent",
+            "balanced",
+            "balanced",
+            "non-local (subdomain diff)",
+        ),
     ] {
         println!("{mv:<14} {part:<12} {fb:<14} {pb:<14} {comm:<22}");
     }
@@ -69,10 +108,7 @@ fn main() {
         let mut sim = ParallelPicSim::new(cfg);
         let report = sim.run(iters);
         let counts = sim.particle_counts();
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         let imbalance = max as f64 / (32_768.0 / 32.0);
         println!(
             "{:<34} {:>12} {:>12} {:>11.2}x {:>12.2}",

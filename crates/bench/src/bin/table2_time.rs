@@ -29,8 +29,7 @@ fn main() {
             for scheme in [IndexScheme::Hilbert, IndexScheme::Snake] {
                 let mut times = Vec::new();
                 for p in TABLE2_PROCS {
-                    let cfg =
-                        paper_cfg(nx, ny, n, p, dist, scheme, PolicyKind::DynamicSar);
+                    let cfg = paper_cfg(nx, ny, n, p, dist, scheme, PolicyKind::DynamicSar);
                     let mut sim = ParallelPicSim::new(cfg);
                     times.push(sim.run(iters).total_s);
                 }

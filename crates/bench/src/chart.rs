@@ -7,11 +7,7 @@
 /// Render one or more series as an ASCII chart of `width x height`
 /// characters.  Series are downsampled by averaging into `width` buckets
 /// and share a common y scale; each series draws with its own glyph.
-pub fn render_chart(
-    series: &[(&str, &[f64])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn render_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     assert!(width >= 8 && height >= 2, "chart too small");
     assert!(!series.is_empty(), "no series");
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];

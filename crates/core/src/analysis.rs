@@ -42,15 +42,13 @@ pub fn ideal_bounds(mc: &MachineConfig, n: usize, m: usize, l_grid: usize) -> Ph
     // u = min(m/p, 4 n/p): the ghost grid point bound
     let u = mp.min(4.0 * np);
     let l = l_grid as f64;
-    let scatter_s = 4.0 * np * costs::SCATTER_VERTEX * mc.delta
-        + (p - 1.0) * mc.tau
-        + u * l * mc.mu;
+    let scatter_s =
+        4.0 * np * costs::SCATTER_VERTEX * mc.delta + (p - 1.0) * mc.tau + u * l * mc.mu;
     let fields_s = mp * (costs::FIELD_POINT_B + costs::FIELD_POINT_E) * mc.delta
         + 4.0 * mc.tau
         + 4.0 * mp.sqrt() * l * mc.mu;
-    let gather_s = 4.0 * np * costs::GATHER_VERTEX * mc.delta
-        + (p - 1.0) * mc.tau
-        + 2.0 * u * l * mc.mu;
+    let gather_s =
+        4.0 * np * costs::GATHER_VERTEX * mc.delta + (p - 1.0) * mc.tau + 2.0 * u * l * mc.mu;
     let push_s = np * costs::PUSH_PARTICLE * mc.delta;
     PhaseBounds {
         scatter_s,

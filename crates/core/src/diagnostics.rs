@@ -49,7 +49,16 @@ mod tests {
     #[test]
     fn energy_counts_interior_only() {
         let cfg = SimConfig::small_test();
-        let mut st = RankState::new(0, Rect { x0: 0, y0: 0, w: 4, h: 4 }, &cfg);
+        let mut st = RankState::new(
+            0,
+            Rect {
+                x0: 0,
+                y0: 0,
+                w: 4,
+                h: 4,
+            },
+            &cfg,
+        );
         // fill everything including ghosts with Ez = 1
         st.fields.ez.fill(1.0);
         let r = energy_of(std::slice::from_ref(&st), 1.0, 1.0);
@@ -61,7 +70,12 @@ mod tests {
     #[test]
     fn kinetic_energy_sums_over_ranks() {
         let cfg = SimConfig::small_test();
-        let rect = Rect { x0: 0, y0: 0, w: 4, h: 4 };
+        let rect = Rect {
+            x0: 0,
+            y0: 0,
+            w: 4,
+            h: 4,
+        };
         let mut a = RankState::new(0, rect, &cfg);
         let mut b = RankState::new(1, rect, &cfg);
         a.particles.push(0.5, 0.5, 3.0, 0.0, 4.0);

@@ -114,7 +114,11 @@ impl ElectrostaticPicSim {
                 e[0] += cic.w[k] * self.ex[(cx, cy)];
                 e[1] += cic.w[k] * self.ey[(cx, cy)];
             }
-            let u = [self.particles.ux[i], self.particles.uy[i], self.particles.uz[i]];
+            let u = [
+                self.particles.ux[i],
+                self.particles.uy[i],
+                self.particles.uz[i],
+            ];
             let u2 = boris_push(u, &BorisStep { e, b: [0.0; 3] }, qm, dt);
             let gamma = gamma_of(u2);
             self.particles.ux[i] = u2[0];

@@ -148,11 +148,7 @@ impl GhostAccumulator for DirectTableAccumulator {
 }
 
 /// Group packed-index entries by owning rank, owners ascending.
-fn group_by_owner(
-    entries: Vec<(u32, [f64; 3])>,
-    nx: u32,
-    layout: &BlockLayout,
-) -> OwnerEntries {
+fn group_by_owner(entries: Vec<(u32, [f64; 3])>, nx: u32, layout: &BlockLayout) -> OwnerEntries {
     let mut by_owner: Vec<(usize, u32, [f64; 3])> = entries
         .into_iter()
         .map(|(k, v)| {
@@ -252,7 +248,6 @@ mod tests {
 
     #[test]
     fn costs_reflect_the_papers_trade() {
-
         let hash = HashTableAccumulator::new(8);
         let direct = DirectTableAccumulator::new(8, 8);
         assert!(direct.add_cost() < hash.add_cost());

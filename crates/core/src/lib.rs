@@ -56,5 +56,7 @@ pub use electrostatic::ElectrostaticPicSim;
 pub use ghost::{DirectTableAccumulator, GhostAccumulator, HashTableAccumulator};
 pub use replicated::ReplicatedGridPicSim;
 pub use sequential::SequentialPicSim;
-pub use sim::{IterationRecord, ParallelPicSim, PhaseBreakdown, SimReport};
+pub use sim::{
+    GenericPicSim, IterationRecord, ParallelPicSim, PhaseBreakdown, SimReport, ThreadedPicSim,
+};
 pub use state::RankState;

@@ -11,7 +11,7 @@
 //!    phase's current densities as source terms).
 
 use pic_field::Grid2;
-use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine};
 
 use crate::costs;
 use crate::messages::HaloData;
@@ -35,11 +35,7 @@ fn pack(
 }
 
 /// Unpack three field components into the plan's padded slots.
-fn unpack(
-    grids: [&mut Grid2<f64>; 3],
-    cells: &[pic_field::CellSlot],
-    data: &[f64],
-) {
+fn unpack(grids: [&mut Grid2<f64>; 3], cells: &[pic_field::CellSlot], data: &[f64]) {
     debug_assert_eq!(data.len(), cells.len() * 3);
     let [g0, g1, g2] = grids;
     for (k, &(_, (px, py))) in cells.iter().enumerate() {
@@ -50,23 +46,27 @@ fn unpack(
 }
 
 /// Copy self-wrap ghost slots from the rank's own interior.
-fn self_fill(
-    st: &mut RankState,
-    halo: &pic_field::HaloPlan,
-    which: Which,
-) {
+fn self_fill(st: &mut RankState, halo: &pic_field::HaloPlan, which: Which) {
     let copies = halo.self_copies(st.rank);
     for &((sx, sy), (px, py)) in copies {
         let (lx, ly) = (sx - st.rect.x0 + 1, sy - st.rect.y0 + 1);
         match which {
             Which::E => {
-                let v = (st.fields.ex[(lx, ly)], st.fields.ey[(lx, ly)], st.fields.ez[(lx, ly)]);
+                let v = (
+                    st.fields.ex[(lx, ly)],
+                    st.fields.ey[(lx, ly)],
+                    st.fields.ez[(lx, ly)],
+                );
                 st.fields.ex[(px, py)] = v.0;
                 st.fields.ey[(px, py)] = v.1;
                 st.fields.ez[(px, py)] = v.2;
             }
             Which::B => {
-                let v = (st.fields.bx[(lx, ly)], st.fields.by[(lx, ly)], st.fields.bz[(lx, ly)]);
+                let v = (
+                    st.fields.bx[(lx, ly)],
+                    st.fields.by[(lx, ly)],
+                    st.fields.bz[(lx, ly)],
+                );
                 st.fields.bx[(px, py)] = v.0;
                 st.fields.by[(px, py)] = v.1;
                 st.fields.bz[(px, py)] = v.2;
@@ -82,7 +82,7 @@ enum Which {
 }
 
 /// Run the field solve: exchange E → update B, exchange B → update E.
-pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
     let halo = env.halo;
     let solver = *env.solver;
 

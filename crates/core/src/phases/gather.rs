@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine};
 use pic_particles::Cic;
 
 use crate::costs;
@@ -20,7 +20,7 @@ use crate::phases::PhaseEnv;
 use crate::state::RankState;
 
 /// Run one gather superstep.
-pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
     let (nx, ny) = (env.cfg.nx, env.cfg.ny);
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
     machine.superstep(

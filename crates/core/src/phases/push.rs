@@ -7,7 +7,7 @@
 //! cell immediately after the move, which is implemented as an extra
 //! superstep.
 
-use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine};
 use pic_particles::push::{boris_push, gamma_of, BorisStep};
 use pic_particles::wrap_periodic;
 
@@ -18,7 +18,7 @@ use crate::phases::PhaseEnv;
 use crate::state::RankState;
 
 /// Run the push phase (and Eulerian migration when configured).
-pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
     let dt = env.cfg.dt;
     let (lx, ly) = (env.cfg.lx(), env.cfg.ly());
     machine.local_step(PhaseKind::Push, move |_r, st, ctx| {
@@ -27,7 +27,10 @@ pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
         debug_assert_eq!(st.e_at.len(), n, "gather must precede push");
         for i in 0..n {
             let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
-            let fields = BorisStep { e: st.e_at[i], b: st.b_at[i] };
+            let fields = BorisStep {
+                e: st.e_at[i],
+                b: st.b_at[i],
+            };
             let u2 = boris_push(u, &fields, qm, dt);
             let gamma = gamma_of(u2);
             st.particles.ux[i] = u2[0];
@@ -47,7 +50,7 @@ pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
 /// Eulerian migration: every particle moves to the rank that owns its
 /// cell.  No sorting, no alignment — the communication each step is the
 /// price Table 1 attributes to keeping particle storage grid-partitioned.
-fn migrate_eulerian(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+fn migrate_eulerian<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
     let (nx, ny) = (env.cfg.nx, env.cfg.ny);
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
     let layout = env.layout;

@@ -17,7 +17,7 @@
 //! `T_redistribution` the dynamic policy trades against rising iteration
 //! times.
 
-use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine};
 use pic_partition::{
     assign_keys, classify_by_bounds, order_maintaining_balance, rank_bounds_from_sorted,
     regular_sample, select_splitters,
@@ -33,7 +33,7 @@ const SAMPLES_PER_RANK: usize = 32;
 
 /// Run a (re)distribution; `initial` selects the sample-sort bootstrap.
 /// Returns the modeled elapsed seconds it cost.
-pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv, initial: bool) -> f64 {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: bool) -> f64 {
     let t_start = machine.elapsed_s();
     let p = machine.num_ranks();
     let indexer = env.indexer;
@@ -127,15 +127,14 @@ pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv, initial: bool) -> f
             let total_in: usize = inbox.iter().map(|(_, b)| b.len()).sum();
             merged_particles.reserve(st.len() + total_in);
             ctx.charge_ops(total_in as f64 * costs::PACK_PARTICLE);
-            let push_batch = |mp: &mut pic_particles::Particles,
-                              mk: &mut Vec<u64>,
-                              batch: &ParticleBatch| {
-                for i in 0..batch.len() {
-                    let c = batch.coords(i);
-                    mp.push(c[0], c[1], c[2], c[3], c[4]);
-                    mk.push(batch.keys[i]);
-                }
-            };
+            let push_batch =
+                |mp: &mut pic_particles::Particles, mk: &mut Vec<u64>, batch: &ParticleBatch| {
+                    for i in 0..batch.len() {
+                        let c = batch.coords(i);
+                        mp.push(c[0], c[1], c[2], c[3], c[4]);
+                        mk.push(batch.keys[i]);
+                    }
+                };
             for (from, batch) in inbox.iter().filter(|(f, _)| *f < r) {
                 let _ = from;
                 push_batch(&mut merged_particles, &mut merged_keys, batch);

@@ -9,7 +9,7 @@
 //! sent which vertices (`ghost_serving`) — the gather phase answers along
 //! exactly those lists.
 
-use pic_machine::{Machine, Outbox, PhaseKind};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine};
 use pic_particles::push::gamma_of;
 use pic_particles::Cic;
 
@@ -19,7 +19,7 @@ use crate::phases::PhaseEnv;
 use crate::state::RankState;
 
 /// Run one scatter superstep.
-pub fn run(machine: &mut Machine<RankState>, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
     let (nx, ny) = (env.cfg.nx, env.cfg.ny);
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
     let layout = env.layout;

@@ -55,9 +55,9 @@ impl ReplicatedGridPicSim {
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate();
         let p = cfg.machine.ranks;
-        let global = cfg
-            .distribution
-            .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
+        let global =
+            cfg.distribution
+                .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
         let states: Vec<ReplicatedState> = (0..p)
             .map(|r| {
                 let mut particles = Particles::new(-cfg.particle_charge, 1.0);
@@ -93,23 +93,24 @@ impl ReplicatedGridPicSim {
         let p = self.machine.num_ranks();
 
         // --- scatter: local deposit into the replicated grid ----------------
-        self.machine.local_step(PhaseKind::Scatter, move |_r, st, ctx| {
-            st.currents.clear();
-            let q = st.particles.charge;
-            for i in 0..st.particles.len() {
-                let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
-                let gamma = gamma_of(u);
-                let v = [u[0] / gamma, u[1] / gamma, u[2] / gamma];
-                let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
-                for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
-                    let w = cic.w[k];
-                    st.currents.jx[(cx, cy)] += q * v[0] * w;
-                    st.currents.jy[(cx, cy)] += q * v[1] * w;
-                    st.currents.jz[(cx, cy)] += q * v[2] * w;
+        self.machine
+            .local_step(PhaseKind::Scatter, move |_r, st, ctx| {
+                st.currents.clear();
+                let q = st.particles.charge;
+                for i in 0..st.particles.len() {
+                    let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
+                    let gamma = gamma_of(u);
+                    let v = [u[0] / gamma, u[1] / gamma, u[2] / gamma];
+                    let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
+                    for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
+                        let w = cic.w[k];
+                        st.currents.jx[(cx, cy)] += q * v[0] * w;
+                        st.currents.jy[(cx, cy)] += q * v[1] * w;
+                        st.currents.jz[(cx, cy)] += q * v[2] * w;
+                    }
                 }
-            }
-            ctx.charge_ops(st.particles.len() as f64 * 4.0 * costs::SCATTER_VERTEX);
-        });
+                ctx.charge_ops(st.particles.len() as f64 * 4.0 * costs::SCATTER_VERTEX);
+            });
 
         // --- global element-wise sum of the current arrays ------------------
         // three components, m doubles each: the O(m) global operation that
@@ -127,61 +128,63 @@ impl ReplicatedGridPicSim {
             |a, b| a + b,
             |_r, st, sum: &[f64]| {
                 st.currents.jx.as_mut_slice().copy_from_slice(&sum[..m]);
-                st.currents.jy.as_mut_slice().copy_from_slice(&sum[m..2 * m]);
+                st.currents
+                    .jy
+                    .as_mut_slice()
+                    .copy_from_slice(&sum[m..2 * m]);
                 st.currents.jz.as_mut_slice().copy_from_slice(&sum[2 * m..]);
             },
         );
 
         // --- field solve: strip-distributed, then concatenated --------------
-        let strip = move |r: usize| -> (usize, usize) {
-            (r * ny / p, (r + 1) * ny / p)
-        };
+        let strip = move |r: usize| -> (usize, usize) { (r * ny / p, (r + 1) * ny / p) };
         let solver = self.solver;
-        self.machine.local_step(PhaseKind::FieldSolve, move |r, st, ctx| {
-            let (y0, y1) = strip(r);
-            solver.update_b_periodic_rows(&mut st.fields, y0, y1);
-            ctx.charge_ops(((y1 - y0) * nx) as f64 * costs::FIELD_POINT_B);
-        });
+        self.machine
+            .local_step(PhaseKind::FieldSolve, move |r, st, ctx| {
+                let (y0, y1) = strip(r);
+                solver.update_b_periodic_rows(&mut st.fields, y0, y1);
+                ctx.charge_ops(((y1 - y0) * nx) as f64 * costs::FIELD_POINT_B);
+            });
         self.concat_strips(strip, Which::B);
-        self.machine.local_step(PhaseKind::FieldSolve, move |r, st, ctx| {
-            let (y0, y1) = strip(r);
-            let currents = st.currents.clone();
-            solver.update_e_periodic_rows(&mut st.fields, &currents, y0, y1);
-            ctx.charge_ops(((y1 - y0) * nx) as f64 * costs::FIELD_POINT_E);
-        });
+        self.machine
+            .local_step(PhaseKind::FieldSolve, move |r, st, ctx| {
+                let (y0, y1) = strip(r);
+                let currents = st.currents.clone();
+                solver.update_e_periodic_rows(&mut st.fields, &currents, y0, y1);
+                ctx.charge_ops(((y1 - y0) * nx) as f64 * costs::FIELD_POINT_E);
+            });
         self.concat_strips(strip, Which::E);
 
         // --- gather + push: fully local on the replicated mesh --------------
         let dt = self.cfg.dt;
         let (lx, ly) = (self.cfg.lx(), self.cfg.ly());
-        self.machine.local_step(PhaseKind::Push, move |_r, st, ctx| {
-            let qm = st.particles.qm();
-            let n = st.particles.len();
-            for i in 0..n {
-                let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
-                let mut e = [0.0f64; 3];
-                let mut b = [0.0f64; 3];
-                for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
-                    let w = cic.w[k];
-                    let vals = st.fields.at(cx, cy);
-                    for c in 0..3 {
-                        e[c] += w * vals[c];
-                        b[c] += w * vals[3 + c];
+        self.machine
+            .local_step(PhaseKind::Push, move |_r, st, ctx| {
+                let qm = st.particles.qm();
+                let n = st.particles.len();
+                for i in 0..n {
+                    let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
+                    let mut e = [0.0f64; 3];
+                    let mut b = [0.0f64; 3];
+                    for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
+                        let w = cic.w[k];
+                        let vals = st.fields.at(cx, cy);
+                        for c in 0..3 {
+                            e[c] += w * vals[c];
+                            b[c] += w * vals[3 + c];
+                        }
                     }
+                    let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
+                    let u2 = boris_push(u, &BorisStep { e, b }, qm, dt);
+                    let gamma = gamma_of(u2);
+                    st.particles.ux[i] = u2[0];
+                    st.particles.uy[i] = u2[1];
+                    st.particles.uz[i] = u2[2];
+                    st.particles.x[i] = wrap_periodic(st.particles.x[i] + u2[0] / gamma * dt, lx);
+                    st.particles.y[i] = wrap_periodic(st.particles.y[i] + u2[1] / gamma * dt, ly);
                 }
-                let u = [st.particles.ux[i], st.particles.uy[i], st.particles.uz[i]];
-                let u2 = boris_push(u, &BorisStep { e, b }, qm, dt);
-                let gamma = gamma_of(u2);
-                st.particles.ux[i] = u2[0];
-                st.particles.uy[i] = u2[1];
-                st.particles.uz[i] = u2[2];
-                st.particles.x[i] =
-                    wrap_periodic(st.particles.x[i] + u2[0] / gamma * dt, lx);
-                st.particles.y[i] =
-                    wrap_periodic(st.particles.y[i] + u2[1] / gamma * dt, ly);
-            }
-            ctx.charge_ops(n as f64 * (4.0 * costs::GATHER_VERTEX + costs::PUSH_PARTICLE));
-        });
+                ctx.charge_ops(n as f64 * (4.0 * costs::GATHER_VERTEX + costs::PUSH_PARTICLE));
+            });
     }
 
     /// Allgather the just-updated field strips so every rank holds the
@@ -224,7 +227,6 @@ impl ReplicatedGridPicSim {
                 }
             },
         );
-
     }
 
     /// Iterations run so far.
@@ -263,17 +265,18 @@ impl ReplicatedGridPicSim {
             .iter()
             .map(|st| st.particles.kinetic_energy())
             .sum();
-        let field = pic_field::field_energy(
-            &self.machine.ranks()[0].fields,
-            self.cfg.dx,
-            self.cfg.dy,
-        );
+        let field =
+            pic_field::field_energy(&self.machine.ranks()[0].fields, self.cfg.dx, self.cfg.dy);
         EnergyReport { kinetic, field }
     }
 
     /// Total particles across ranks.
     pub fn total_particles(&self) -> usize {
-        self.machine.ranks().iter().map(|st| st.particles.len()).sum()
+        self.machine
+            .ranks()
+            .iter()
+            .map(|st| st.particles.len())
+            .sum()
     }
 }
 

@@ -54,7 +54,11 @@ impl SequentialPicSim {
         // scatter
         self.currents.clear();
         for i in 0..n {
-            let u = [self.particles.ux[i], self.particles.uy[i], self.particles.uz[i]];
+            let u = [
+                self.particles.ux[i],
+                self.particles.uy[i],
+                self.particles.uz[i],
+            ];
             let gamma = gamma_of(u);
             let v = [u[0] / gamma, u[1] / gamma, u[2] / gamma];
             let cic = Cic::new(self.particles.x[i], self.particles.y[i], dx, dy, nx, ny);
@@ -87,7 +91,11 @@ impl SequentialPicSim {
                     b[c] += w * vals[3 + c];
                 }
             }
-            let u = [self.particles.ux[i], self.particles.uy[i], self.particles.uz[i]];
+            let u = [
+                self.particles.ux[i],
+                self.particles.uy[i],
+                self.particles.uz[i],
+            ];
             let u2 = boris_push(u, &BorisStep { e, b }, qm, dt);
             let gamma = gamma_of(u2);
             self.particles.ux[i] = u2[0];

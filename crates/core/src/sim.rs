@@ -2,7 +2,7 @@
 
 use pic_field::{HaloPlan, MaxwellSolver};
 use pic_index::CellIndexer;
-use pic_machine::{Machine, PhaseKind, StatsLog, SuperstepStats};
+use pic_machine::{Machine, PhaseKind, SpmdEngine, StatsLog, SuperstepStats, ThreadedMachine};
 use pic_partition::{sfc_block_layout, RedistributionPolicy};
 use serde::{Deserialize, Serialize};
 
@@ -107,10 +107,23 @@ pub struct SimReport {
     pub breakdown: PhaseBreakdown,
 }
 
-/// The parallel PIC simulation on the virtual machine.
-pub struct ParallelPicSim {
+/// The parallel PIC simulation on the modeled BSP machine (the default
+/// executor: deterministic, reports modeled seconds).
+pub type ParallelPicSim = GenericPicSim<Machine<RankState>>;
+
+/// The same simulation on the real-threads executor: one OS thread per
+/// rank with genuine message passing; reports wall-clock seconds.  Rank
+/// states (particles, keys, bounds) are bit-identical to
+/// [`ParallelPicSim`] under any measurement-independent redistribution
+/// policy (e.g. `PolicyKind::Periodic`); time-based policies such as
+/// `DynamicSar` read the executor's own clock and may redistribute at
+/// different iterations.
+pub type ThreadedPicSim = GenericPicSim<ThreadedMachine<RankState>>;
+
+/// The parallel PIC simulation, generic over the SPMD executor.
+pub struct GenericPicSim<E: SpmdEngine<RankState>> {
     cfg: SimConfig,
-    machine: Machine<RankState>,
+    machine: E,
     layout: pic_field::BlockLayout,
     halo: HaloPlan,
     indexer: Box<dyn CellIndexer>,
@@ -129,7 +142,7 @@ pub struct ParallelPicSim {
     redistribute_s_consumed: f64,
 }
 
-impl ParallelPicSim {
+impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
     /// Build the simulation: decompose the mesh, load and distribute the
     /// particles, and seed the redistribution policy with the initial
     /// distribution's cost.
@@ -147,9 +160,9 @@ impl ParallelPicSim {
 
         // load the global particle population deterministically, then
         // hand contiguous chunks to ranks (as if read from a shared file)
-        let global = cfg
-            .distribution
-            .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
+        let global =
+            cfg.distribution
+                .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
         let states: Vec<RankState> = (0..p)
             .map(|r| {
                 let mut st = RankState::new(r, layout.local_rect(r), &cfg);
@@ -164,7 +177,7 @@ impl ParallelPicSim {
             })
             .collect();
 
-        let machine = Machine::new(cfg.machine, cfg.exec_mode(), states);
+        let machine = E::build(cfg.machine, cfg.exec_mode(), states);
         let mut sim = Self {
             cfg,
             machine,
@@ -320,9 +333,15 @@ impl ParallelPicSim {
         &self.cfg
     }
 
-    /// The underlying virtual machine (read access for diagnostics).
-    pub fn machine(&self) -> &Machine<RankState> {
+    /// The underlying executor (read access for diagnostics).
+    pub fn machine(&self) -> &E {
         &self.machine
+    }
+
+    /// Consume the simulation, returning the executor (and with it the
+    /// final rank states via [`SpmdEngine::into_ranks`]).
+    pub fn into_machine(self) -> E {
+        self.machine
     }
 
     /// Mutable access to the rank states, for tests and experiment setups

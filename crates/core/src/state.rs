@@ -87,9 +87,7 @@ impl RankState {
     /// Panics if `dests` length mismatches the particle count.
     pub fn take_outgoing(&mut self, dests: &[usize]) -> Vec<(usize, ParticleBatch)> {
         assert_eq!(dests.len(), self.len(), "dests length mismatch");
-        let off: Vec<usize> = (0..self.len())
-            .filter(|&i| dests[i] != self.rank)
-            .collect();
+        let off: Vec<usize> = (0..self.len()).filter(|&i| dests[i] != self.rank).collect();
         if off.is_empty() {
             return Vec::new();
         }
@@ -167,7 +165,12 @@ mod tests {
 
     fn state_with_particles() -> RankState {
         let cfg = SimConfig::small_test();
-        let rect = Rect { x0: 0, y0: 0, w: 8, h: 8 };
+        let rect = Rect {
+            x0: 0,
+            y0: 0,
+            w: 8,
+            h: 8,
+        };
         let mut st = RankState::new(1, rect, &cfg);
         for i in 0..6 {
             let f = i as f64;
@@ -220,7 +223,16 @@ mod tests {
     #[test]
     fn last_key_handles_empty() {
         let cfg = SimConfig::small_test();
-        let st = RankState::new(0, Rect { x0: 0, y0: 0, w: 4, h: 4 }, &cfg);
+        let st = RankState::new(
+            0,
+            Rect {
+                x0: 0,
+                y0: 0,
+                w: 4,
+                h: 4,
+            },
+            &cfg,
+        );
         assert_eq!(st.last_key(), 0);
         assert!(st.is_empty());
     }
@@ -228,7 +240,16 @@ mod tests {
     #[test]
     fn padded_field_dimensions() {
         let cfg = SimConfig::small_test();
-        let st = RankState::new(0, Rect { x0: 0, y0: 0, w: 8, h: 4 }, &cfg);
+        let st = RankState::new(
+            0,
+            Rect {
+                x0: 0,
+                y0: 0,
+                w: 8,
+                h: 4,
+            },
+            &cfg,
+        );
         assert_eq!(st.fields.width(), 10);
         assert_eq!(st.fields.height(), 6);
         assert_eq!(st.currents.jx.width(), 8);

@@ -154,11 +154,18 @@ fn lagrangian_counts_stay_fixed_between_redistributions() {
     let mut sim = ParallelPicSim::new(cfg);
     let counts0 = sim.particle_counts();
     sim.run(8);
-    assert_eq!(sim.particle_counts(), counts0, "particles migrated under Lagrangian");
+    assert_eq!(
+        sim.particle_counts(),
+        counts0,
+        "particles migrated under Lagrangian"
+    );
     // and the initial distribution balanced them
     let max = counts0.iter().max().unwrap();
     let min = counts0.iter().min().unwrap();
-    assert!(max - min <= 1, "unbalanced initial distribution: {counts0:?}");
+    assert!(
+        max - min <= 1,
+        "unbalanced initial distribution: {counts0:?}"
+    );
 }
 
 #[test]

@@ -31,7 +31,10 @@ fn interior_particle_generates_no_scatter_traffic() {
     // place particles well inside blocks (cells (1,1) and (5,1)), at rest
     for st in sim.ranks_mut() {
         let rect = st.rect;
-        st.particles.x.iter_mut().for_each(|x| *x = rect.x0 as f64 + 1.5);
+        st.particles
+            .x
+            .iter_mut()
+            .for_each(|x| *x = rect.x0 as f64 + 1.5);
         st.particles.y.iter_mut().for_each(|y| *y = 1.5);
         st.particles.ux.iter_mut().for_each(|u| *u = 0.0);
         st.particles.uy.iter_mut().for_each(|u| *u = 0.0);

@@ -11,10 +11,10 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
     (
-        8usize..24,                         // nx
-        8usize..24,                         // ny
-        64usize..512,                       // particles
-        1usize..9,                          // ranks
+        8usize..24,   // nx
+        8usize..24,   // ny
+        64usize..512, // particles
+        1usize..9,    // ranks
         prop::sample::select(vec![
             ParticleDistribution::Uniform,
             ParticleDistribution::IrregularCenter,
@@ -31,20 +31,22 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
             PolicyKind::DynamicSar,
         ]),
         prop::sample::select(vec![DedupKind::Hash, DedupKind::Direct]),
-        any::<u64>(),                       // seed
+        any::<u64>(), // seed
     )
-        .prop_map(|(nx, ny, particles, p, dist, scheme, policy, dedup, seed)| SimConfig {
-            nx,
-            ny,
-            particles,
-            distribution: dist,
-            scheme,
-            policy,
-            dedup,
-            machine: MachineConfig::cm5(p),
-            seed,
-            ..SimConfig::paper_default()
-        })
+        .prop_map(
+            |(nx, ny, particles, p, dist, scheme, policy, dedup, seed)| SimConfig {
+                nx,
+                ny,
+                particles,
+                distribution: dist,
+                scheme,
+                policy,
+                dedup,
+                machine: MachineConfig::cm5(p),
+                seed,
+                ..SimConfig::paper_default()
+            },
+        )
         .prop_filter("ranks must tile mesh", |cfg| {
             let (a, b) = pic_field::factor_near_square(cfg.machine.ranks);
             let (pr, pc) = if cfg.nx >= cfg.ny { (a, b) } else { (b, a) };

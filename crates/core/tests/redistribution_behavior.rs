@@ -198,8 +198,7 @@ fn report_totals_are_consistent() {
     assert!(report.overhead_s >= 0.0);
     // phase breakdown covers the whole run
     let b = report.breakdown;
-    let phase_sum =
-        b.scatter_s + b.field_solve_s + b.gather_s + b.push_s + b.redistribute_s;
+    let phase_sum = b.scatter_s + b.field_solve_s + b.gather_s + b.push_s + b.redistribute_s;
     assert!(
         (phase_sum - report.total_s).abs() < 1e-9 * report.total_s.max(1.0),
         "breakdown {phase_sum} vs total {}",

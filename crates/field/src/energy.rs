@@ -8,12 +8,10 @@ pub fn field_energy(f: &FieldSet, dx: f64, dy: f64) -> f64 {
     let cell = dx * dy;
     let mut sum = 0.0;
     for i in 0..f.ex.len() {
-        let e2 = f.ex.as_slice()[i].powi(2)
-            + f.ey.as_slice()[i].powi(2)
-            + f.ez.as_slice()[i].powi(2);
-        let b2 = f.bx.as_slice()[i].powi(2)
-            + f.by.as_slice()[i].powi(2)
-            + f.bz.as_slice()[i].powi(2);
+        let e2 =
+            f.ex.as_slice()[i].powi(2) + f.ey.as_slice()[i].powi(2) + f.ez.as_slice()[i].powi(2);
+        let b2 =
+            f.bx.as_slice()[i].powi(2) + f.by.as_slice()[i].powi(2) + f.bz.as_slice()[i].powi(2);
         sum += 0.5 * (e2 + b2) * cell;
     }
     sum

@@ -153,8 +153,7 @@ mod tests {
     #[test]
     fn iter_coords_covers_grid_in_order() {
         let g = Grid2::<u8>::zeros(2, 2);
-        let coords: Vec<(usize, usize)> =
-            g.iter_coords().map(|(x, y, _)| (x, y)).collect();
+        let coords: Vec<(usize, usize)> = g.iter_coords().map(|(x, y, _)| (x, y)).collect();
         assert_eq!(coords, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
     }
 

@@ -51,8 +51,7 @@ impl HaloPlan {
         // of each (wrapped) ghost cell must send that cell's value here.
         // Invert that into per-sender lists.
         let mut sends: Vec<Vec<HaloMsg>> = (0..p).map(|_| Vec::new()).collect();
-        let mut self_copies: Vec<Vec<CellSlot>> =
-            (0..p).map(|_| Vec::new()).collect();
+        let mut self_copies: Vec<Vec<CellSlot>> = (0..p).map(|_| Vec::new()).collect();
         for (rank, self_list) in self_copies.iter_mut().enumerate() {
             let r = layout.local_rect(rank);
             let mut wanted: Vec<(usize, CellSlot)> = Vec::new();
@@ -179,8 +178,7 @@ mod tests {
                 for msg in plan.sends(src).iter().filter(|m| m.to == rank) {
                     for &(_, (px, py)) in &msg.cells {
                         assert!(px <= r.w + 1 && py <= r.h + 1);
-                        let on_ring =
-                            px == 0 || py == 0 || px == r.w + 1 || py == r.h + 1;
+                        let on_ring = px == 0 || py == 0 || px == r.w + 1 || py == r.h + 1;
                         assert!(on_ring, "slot ({px},{py}) not on ghost ring");
                     }
                 }

@@ -47,7 +47,12 @@ impl Rect {
         let x1 = (self.x0 + self.w).min(other.x0 + other.w);
         let y1 = (self.y0 + self.h).min(other.y0 + other.h);
         if x0 < x1 && y0 < y1 {
-            Some(Rect { x0, y0, w: x1 - x0, h: y1 - y0 })
+            Some(Rect {
+                x0,
+                y0,
+                w: x1 - x0,
+                h: y1 - y0,
+            })
         } else {
             None
         }
@@ -189,7 +194,12 @@ impl BlockLayout {
         let (bi, bj) = (block % self.pr, block / self.pr);
         let (x0, x1) = Self::block_range(self.nx, self.pr, bi);
         let (y0, y1) = Self::block_range(self.ny, self.pc, bj);
-        Rect { x0, y0, w: x1 - x0, h: y1 - y0 }
+        Rect {
+            x0,
+            y0,
+            w: x1 - x0,
+            h: y1 - y0,
+        }
     }
 
     /// The rank owning global cell `(x, y)`.
@@ -238,7 +248,10 @@ impl BlockLayout {
     /// Convert rank-local coordinates to global coordinates.
     pub fn local_to_global(&self, rank: usize, lx: usize, ly: usize) -> (usize, usize) {
         let r = self.local_rect(rank);
-        assert!(lx < r.w && ly < r.h, "local ({lx},{ly}) outside rank {rank} block");
+        assert!(
+            lx < r.w && ly < r.h,
+            "local ({lx},{ly}) outside rank {rank} block"
+        );
         (r.x0 + lx, r.y0 + ly)
     }
 }
@@ -315,19 +328,50 @@ mod tests {
     fn one_dimensional_layout_is_strips() {
         let l = BlockLayout::new_1d(16, 4, 4);
         let r = l.local_rect(2);
-        assert_eq!(r, Rect { x0: 8, y0: 0, w: 4, h: 4 });
+        assert_eq!(
+            r,
+            Rect {
+                x0: 8,
+                y0: 0,
+                w: 4,
+                h: 4
+            }
+        );
     }
 
     #[test]
     fn rect_geometry() {
-        let a = Rect { x0: 0, y0: 0, w: 4, h: 4 };
-        let b = Rect { x0: 2, y0: 3, w: 4, h: 4 };
+        let a = Rect {
+            x0: 0,
+            y0: 0,
+            w: 4,
+            h: 4,
+        };
+        let b = Rect {
+            x0: 2,
+            y0: 3,
+            w: 4,
+            h: 4,
+        };
         let i = a.intersect(&b).unwrap();
-        assert_eq!(i, Rect { x0: 2, y0: 3, w: 2, h: 1 });
+        assert_eq!(
+            i,
+            Rect {
+                x0: 2,
+                y0: 3,
+                w: 2,
+                h: 1
+            }
+        );
         assert_eq!(a.perimeter(), 16);
         assert!(a.contains(3, 3));
         assert!(!a.contains(4, 3));
-        let far = Rect { x0: 10, y0: 10, w: 1, h: 1 };
+        let far = Rect {
+            x0: 10,
+            y0: 10,
+            w: 1,
+            h: 1,
+        };
         assert!(a.intersect(&far).is_none());
     }
 

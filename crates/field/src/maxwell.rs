@@ -201,13 +201,7 @@ impl MaxwellSolver {
     }
 
     /// E update restricted to rows `y0..y1` of a global periodic grid.
-    pub fn update_e_periodic_rows(
-        &self,
-        f: &mut FieldSet,
-        j: &CurrentSet,
-        y0: usize,
-        y1: usize,
-    ) {
+    pub fn update_e_periodic_rows(&self, f: &mut FieldSet, j: &CurrentSet, y0: usize, y1: usize) {
         let (w, h) = (f.width(), f.height());
         debug_assert!(y0 <= y1 && y1 <= h);
         debug_assert_eq!(j.jx.width(), w);
@@ -353,9 +347,7 @@ mod tests {
         for _ in 0..40 {
             s.step_periodic(&mut f, &j);
         }
-        let probe_after = f.ez[(2, n / 2)].abs()
-            + f.bx[(2, n / 2)].abs()
-            + f.by[(2, n / 2)].abs();
+        let probe_after = f.ez[(2, n / 2)].abs() + f.bx[(2, n / 2)].abs() + f.by[(2, n / 2)].abs();
         assert!(
             probe_after > probe_before + 1e-6,
             "wave did not reach distant probe: {probe_after}"
@@ -406,8 +398,7 @@ mod tests {
             let mut dst = Grid2::<f64>::zeros(n + 2, n + 2);
             for y in 0..n + 2 {
                 for x in 0..n + 2 {
-                    dst[(x, y)] =
-                        *src.get_periodic(x as isize - 1, y as isize - 1);
+                    dst[(x, y)] = *src.get_periodic(x as isize - 1, y as isize - 1);
                 }
             }
             dst

@@ -24,12 +24,7 @@ pub fn make_mean_free(rho: &Grid2<f64>) -> Grid2<f64> {
 
 /// One weighted-Jacobi sweep for `laplacian(phi) = -rho` on a periodic
 /// grid; returns the maximum absolute update (a convergence measure).
-pub fn jacobi_sweep_periodic(
-    phi: &mut Grid2<f64>,
-    rho: &Grid2<f64>,
-    dx: f64,
-    dy: f64,
-) -> f64 {
+pub fn jacobi_sweep_periodic(phi: &mut Grid2<f64>, rho: &Grid2<f64>, dx: f64, dy: f64) -> f64 {
     let (w, h) = (phi.width(), phi.height());
     debug_assert_eq!(rho.width(), w);
     debug_assert_eq!(rho.height(), h);
@@ -110,8 +105,7 @@ pub fn poisson_residual(phi: &Grid2<f64>, rho: &Grid2<f64>, dx: f64, dy: f64) ->
             let lap = (phi.get_periodic(xi - 1, yi) + phi.get_periodic(xi + 1, yi)
                 - 2.0 * phi[(x, y)])
                 * idx2
-                + (phi.get_periodic(xi, yi - 1) + phi.get_periodic(xi, yi + 1)
-                    - 2.0 * phi[(x, y)])
+                + (phi.get_periodic(xi, yi - 1) + phi.get_periodic(xi, yi + 1) - 2.0 * phi[(x, y)])
                     * idy2;
             worst = worst.max((lap + rho[(x, y)]).abs());
         }

@@ -137,7 +137,10 @@ impl CellIndexer for HilbertIndexer {
 
     #[inline]
     fn index(&self, x: usize, y: usize) -> u64 {
-        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
+        assert!(
+            x < self.width && y < self.height,
+            "cell ({x},{y}) outside mesh"
+        );
         self.cell_to_index[y * self.width + x]
     }
 
@@ -216,9 +219,8 @@ mod tests {
         let (w, h) = (13, 7); // deliberately not powers of two
         let ix = HilbertIndexer::new(w, h);
         let order = ix.order();
-        let mut cells: Vec<(usize, usize)> = (0..h)
-            .flat_map(|y| (0..w).map(move |x| (x, y)))
-            .collect();
+        let mut cells: Vec<(usize, usize)> =
+            (0..h).flat_map(|y| (0..w).map(move |x| (x, y))).collect();
         cells.sort_by_key(|&(x, y)| xy2d(order, x as u64, y as u64));
         for (rank, &(x, y)) in cells.iter().enumerate() {
             assert_eq!(ix.index(x, y), rank as u64);

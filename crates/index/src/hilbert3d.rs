@@ -20,7 +20,10 @@ impl Hilbert3d {
     /// # Panics
     /// Panics unless `1 <= order <= 21` (so the index fits in a `u64`).
     pub fn new(order: u32) -> Self {
-        assert!((1..=21).contains(&order), "order {order} out of range 1..=21");
+        assert!(
+            (1..=21).contains(&order),
+            "order {order} out of range 1..=21"
+        );
         Self { order }
     }
 
@@ -45,7 +48,11 @@ impl Hilbert3d {
     /// Panics in debug builds if a coordinate is outside the cube.
     pub fn index(&self, x: u64, y: u64, z: u64) -> u64 {
         let n = self.side();
-        debug_assert!(x < n && y < n && z < n, "({x},{y},{z}) outside 2^{} cube", self.order);
+        debug_assert!(
+            x < n && y < n && z < n,
+            "({x},{y},{z}) outside 2^{} cube",
+            self.order
+        );
         let mut xs = [x, y, z];
         axes_to_transpose(&mut xs, self.order);
         interleave(&xs, self.order)
@@ -197,8 +204,7 @@ mod tests {
         let mut prev = h.coords(0);
         for d in 1..h.len() {
             let cur = h.coords(d);
-            let dist =
-                prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
+            let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
             assert_eq!(dist, 1, "step {d}: {prev:?} -> {cur:?}");
             prev = cur;
         }

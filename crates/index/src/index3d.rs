@@ -14,7 +14,11 @@ use crate::hilbert3d::Hilbert3d;
 /// snake.
 pub fn snake3d_index(side: u64, x: u64, y: u64, z: u64) -> u64 {
     debug_assert!(x < side && y < side && z < side);
-    let (y_eff, x_parity) = if z.is_multiple_of(2) { (y, y % 2) } else { (side - 1 - y, (side - 1 - y) % 2) };
+    let (y_eff, x_parity) = if z.is_multiple_of(2) {
+        (y, y % 2)
+    } else {
+        (side - 1 - y, (side - 1 - y) % 2)
+    };
     let x_eff = if x_parity == 0 { x } else { side - 1 - x };
     (z * side + y_eff) * side + x_eff
 }
@@ -26,9 +30,17 @@ pub fn snake3d_coords(side: u64, idx: u64) -> (u64, u64, u64) {
     let rem = idx % (side * side);
     let y_eff = rem / side;
     let x_eff = rem % side;
-    let y = if z.is_multiple_of(2) { y_eff } else { side - 1 - y_eff };
+    let y = if z.is_multiple_of(2) {
+        y_eff
+    } else {
+        side - 1 - y_eff
+    };
     let x_parity = y_eff % 2;
-    let x = if x_parity == 0 { x_eff } else { side - 1 - x_eff };
+    let x = if x_parity == 0 {
+        x_eff
+    } else {
+        side - 1 - x_eff
+    };
     (x, y, z)
 }
 

@@ -47,7 +47,10 @@ pub mod snake;
 pub use curve::{CellIndexer, IndexScheme};
 pub use hilbert2d::HilbertIndexer;
 pub use hilbert3d::Hilbert3d;
-pub use index3d::{hilbert3d_range_stats, range3_stats, snake3d_coords, snake3d_index, snake3d_range_stats, Range3Stats};
+pub use index3d::{
+    hilbert3d_range_stats, range3_stats, snake3d_coords, snake3d_index, snake3d_range_stats,
+    Range3Stats,
+};
 pub use locality::{neighbor_jump_stats, range_bbox_stats, JumpStats, RangeStats};
 pub use morton::MortonIndexer;
 pub use rowmajor::RowMajorIndexer;

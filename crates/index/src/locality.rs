@@ -54,9 +54,17 @@ pub fn neighbor_jump_stats(ix: &dyn CellIndexer) -> JumpStats {
         }
     }
     JumpStats {
-        mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        mean: if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        },
         max,
-        unit_fraction: if count == 0 { 0.0 } else { units as f64 / count as f64 },
+        unit_fraction: if count == 0 {
+            0.0
+        } else {
+            units as f64 / count as f64
+        },
     }
 }
 
@@ -80,7 +88,10 @@ pub struct RangeStats {
 /// Panics if `parts` is zero or exceeds the number of cells.
 pub fn range_bbox_stats(ix: &dyn CellIndexer, parts: usize) -> RangeStats {
     let n = ix.len();
-    assert!(parts > 0 && parts <= n, "parts {parts} invalid for {n} cells");
+    assert!(
+        parts > 0 && parts <= n,
+        "parts {parts} invalid for {n} cells"
+    );
     let mut aspect_sum = 0.0;
     let mut perim_sum = 0.0;
     let mut fill_sum = 0.0;

@@ -99,7 +99,10 @@ impl CellIndexer for MortonIndexer {
 
     #[inline]
     fn index(&self, x: usize, y: usize) -> u64 {
-        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
+        assert!(
+            x < self.width && y < self.height,
+            "cell ({x},{y}) outside mesh"
+        );
         self.cell_to_index[y * self.width + x]
     }
 
@@ -136,7 +139,11 @@ mod tests {
 
     #[test]
     fn large_coordinates_roundtrip() {
-        for &(x, y) in &[(u32::MAX as u64, 0), (0, u32::MAX as u64), (123_456_789, 987_654_321)] {
+        for &(x, y) in &[
+            (u32::MAX as u64, 0),
+            (0, u32::MAX as u64),
+            (123_456_789, 987_654_321),
+        ] {
             assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
         }
     }

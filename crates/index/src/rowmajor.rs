@@ -36,7 +36,10 @@ impl CellIndexer for RowMajorIndexer {
 
     #[inline]
     fn index(&self, x: usize, y: usize) -> u64 {
-        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
+        assert!(
+            x < self.width && y < self.height,
+            "cell ({x},{y}) outside mesh"
+        );
         (y * self.width + x) as u64
     }
 

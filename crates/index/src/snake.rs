@@ -38,8 +38,15 @@ impl CellIndexer for SnakeIndexer {
 
     #[inline]
     fn index(&self, x: usize, y: usize) -> u64 {
-        assert!(x < self.width && y < self.height, "cell ({x},{y}) outside mesh");
-        let x_in_row = if y.is_multiple_of(2) { x } else { self.width - 1 - x };
+        assert!(
+            x < self.width && y < self.height,
+            "cell ({x},{y}) outside mesh"
+        );
+        let x_in_row = if y.is_multiple_of(2) {
+            x
+        } else {
+            self.width - 1 - x
+        };
         (y * self.width + x_in_row) as u64
     }
 
@@ -49,7 +56,11 @@ impl CellIndexer for SnakeIndexer {
         assert!(idx < self.len(), "index {idx} outside mesh");
         let y = idx / self.width;
         let r = idx % self.width;
-        let x = if y.is_multiple_of(2) { r } else { self.width - 1 - r };
+        let x = if y.is_multiple_of(2) {
+            r
+        } else {
+            self.width - 1 - r
+        };
         (x, y)
     }
 }

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn sync_charges_idle_to_comm() {
-        let mut c = Clock { compute_s: 1.0, comm_s: 0.0 };
+        let mut c = Clock {
+            compute_s: 1.0,
+            comm_s: 0.0,
+        };
         c.sync_to(3.0);
         assert!((c.comm_s - 2.0).abs() < 1e-12);
         assert!((c.total_s() - 3.0).abs() < 1e-12);
@@ -72,7 +75,10 @@ mod tests {
 
     #[test]
     fn sync_to_past_is_a_noop() {
-        let mut c = Clock { compute_s: 5.0, comm_s: 1.0 };
+        let mut c = Clock {
+            compute_s: 5.0,
+            comm_s: 1.0,
+        };
         c.sync_to(2.0);
         assert!((c.total_s() - 6.0).abs() < 1e-12);
     }

@@ -104,11 +104,7 @@ impl<S: Send> Machine<S> {
         R: Fn(T, T) -> T,
         G: Fn(usize, &mut S, &T),
     {
-        let mut it = self
-            .ranks()
-            .iter()
-            .enumerate()
-            .map(|(r, s)| extract(r, s));
+        let mut it = self.ranks().iter().enumerate().map(|(r, s)| extract(r, s));
         let first = it.next().expect("machine has at least one rank");
         let folded = it.fold(first, reduce);
         for (r, s) in self.ranks_mut().iter_mut().enumerate() {

@@ -142,10 +142,7 @@ mod tests {
 
     #[test]
     fn mesh_pays_more_stages_than_hypercube() {
-        assert!(
-            Topology::Mesh2d.collective_stages(64)
-                > Topology::Hypercube.collective_stages(64)
-        );
+        assert!(Topology::Mesh2d.collective_stages(64) > Topology::Hypercube.collective_stages(64));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! The executor abstraction: one SPMD phase program, two machines.
+//!
+//! Every PIC phase is written as a sequence of *supersteps* and
+//! *collectives* against this trait, so the identical program runs on
+//!
+//! * the modeled BSP [`Machine`](crate::Machine) — deterministic, charges
+//!   the paper's two-level (τ/μ/δ) cost model, reports **modeled
+//!   seconds**; and
+//! * the real-threads [`ThreadedMachine`](crate::ThreadedMachine) — one OS
+//!   thread per virtual rank, genuine message passing over mailboxes,
+//!   reports **wall-clock seconds**.
+//!
+//! Cross-validation tests assert that both executors produce bit-identical
+//! rank states for full multi-iteration simulations; the bench binary
+//! `threaded_vs_modeled` quantifies how far the cost model drifts from
+//! real execution.
+
+use crate::config::MachineConfig;
+use crate::machine::{ExecMode, Machine, Outbox, PhaseCtx};
+use crate::payload::Payload;
+use crate::stats::{PhaseKind, StatsLog};
+
+/// A machine that can run SPMD phase programs over rank states of type `S`.
+///
+/// The closure bounds mirror the strictest executor (the threaded one,
+/// which shares the closures across rank threads); the modeled machine
+/// simply ignores the extra `Sync` requirement.
+pub trait SpmdEngine<S: Send>: Sized {
+    /// Build an engine whose rank `r` starts with `states[r]`.
+    ///
+    /// # Panics
+    /// Panics if `states.len() != cfg.ranks`.
+    fn build(cfg: MachineConfig, mode: ExecMode, states: Vec<S>) -> Self;
+
+    /// Number of virtual ranks.
+    fn num_ranks(&self) -> usize;
+
+    /// The machine parameters the engine was built with.
+    fn machine_config(&self) -> &MachineConfig;
+
+    /// Immutable view of rank states.
+    fn ranks(&self) -> &[S];
+
+    /// Mutable view of rank states (setup only; not charged to clocks).
+    fn ranks_mut(&mut self) -> &mut [S];
+
+    /// Consume the engine, returning final rank states.
+    fn into_ranks(self) -> Vec<S>;
+
+    /// Elapsed seconds so far: modeled time on the BSP machine,
+    /// accumulated wall-clock time on the threaded one.
+    fn elapsed_s(&self) -> f64;
+
+    /// Computation component of [`Self::elapsed_s`] (max over ranks).
+    fn compute_s(&self) -> f64;
+
+    /// Superstep statistics log.
+    fn stats(&self) -> &StatsLog;
+
+    /// Mutable statistics log (drained per iteration by the PIC driver).
+    fn stats_mut(&mut self) -> &mut StatsLog;
+
+    /// Run one superstep: `compute` on every rank (may send messages),
+    /// then `deliver` on every rank with its inbox sorted by sender rank
+    /// (order within one sender preserved).
+    fn superstep<M, F, G>(&mut self, phase: PhaseKind, compute: F, deliver: G)
+    where
+        M: Payload,
+        F: Fn(usize, &mut S, &mut PhaseCtx, &mut Outbox<M>) + Sync,
+        G: Fn(usize, &mut S, &mut PhaseCtx, Vec<(usize, M)>) + Sync;
+
+    /// A communication-free superstep.
+    fn local_step<F>(&mut self, phase: PhaseKind, compute: F)
+    where
+        F: Fn(usize, &mut S, &mut PhaseCtx) + Sync,
+    {
+        self.superstep::<(), _, _>(
+            phase,
+            move |r, s, ctx, _outbox| compute(r, s, ctx),
+            |_, _, _, _| {},
+        );
+    }
+
+    /// Global concatenation: every rank contributes one value, every rank
+    /// receives the full rank-indexed vector.
+    fn allgather<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> T + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync;
+
+    /// Global concatenation of vectors, in rank order.
+    fn allgatherv<T, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        bytes_per_item: usize,
+        extract: F,
+        apply: G,
+    ) where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> Vec<T> + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync;
+
+    /// All-reduce with a caller-supplied fold.  The fold is applied in
+    /// rank order on every executor so floating-point results are
+    /// bit-identical across them.
+    fn allreduce<T, F, R, G>(&mut self, phase: PhaseKind, extract: F, reduce: R, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+        G: Fn(usize, &mut S, &T) + Sync;
+
+    /// Element-wise all-reduce of per-rank arrays (rank-ordered fold).
+    ///
+    /// # Panics
+    /// Panics if ranks contribute arrays of different lengths.
+    fn allreduce_elementwise<T, F, R, G>(
+        &mut self,
+        phase: PhaseKind,
+        share_bytes: usize,
+        extract: F,
+        reduce: R,
+        apply: G,
+    ) where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> Vec<T> + Sync,
+        R: Fn(&T, &T) -> T + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync;
+
+    /// Synchronize all ranks.
+    fn barrier(&mut self);
+}
+
+impl<S: Send> SpmdEngine<S> for Machine<S> {
+    fn build(cfg: MachineConfig, mode: ExecMode, states: Vec<S>) -> Self {
+        Machine::new(cfg, mode, states)
+    }
+
+    fn num_ranks(&self) -> usize {
+        Machine::num_ranks(self)
+    }
+
+    fn machine_config(&self) -> &MachineConfig {
+        self.config()
+    }
+
+    fn ranks(&self) -> &[S] {
+        Machine::ranks(self)
+    }
+
+    fn ranks_mut(&mut self) -> &mut [S] {
+        Machine::ranks_mut(self)
+    }
+
+    fn into_ranks(self) -> Vec<S> {
+        Machine::into_ranks(self)
+    }
+
+    fn elapsed_s(&self) -> f64 {
+        Machine::elapsed_s(self)
+    }
+
+    fn compute_s(&self) -> f64 {
+        Machine::compute_s(self)
+    }
+
+    fn stats(&self) -> &StatsLog {
+        Machine::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut StatsLog {
+        Machine::stats_mut(self)
+    }
+
+    fn superstep<M, F, G>(&mut self, phase: PhaseKind, compute: F, deliver: G)
+    where
+        M: Payload,
+        F: Fn(usize, &mut S, &mut PhaseCtx, &mut Outbox<M>) + Sync,
+        G: Fn(usize, &mut S, &mut PhaseCtx, Vec<(usize, M)>) + Sync,
+    {
+        Machine::superstep(self, phase, compute, deliver);
+    }
+
+    fn allgather<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> T + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync,
+    {
+        Machine::allgather(self, phase, bytes_per_item, extract, apply);
+    }
+
+    fn allgatherv<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> Vec<T> + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync,
+    {
+        Machine::allgatherv(self, phase, bytes_per_item, extract, apply);
+    }
+
+    fn allreduce<T, F, R, G>(&mut self, phase: PhaseKind, extract: F, reduce: R, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+        G: Fn(usize, &mut S, &T) + Sync,
+    {
+        Machine::allreduce(self, phase, extract, reduce, apply);
+    }
+
+    fn allreduce_elementwise<T, F, R, G>(
+        &mut self,
+        phase: PhaseKind,
+        share_bytes: usize,
+        extract: F,
+        reduce: R,
+        apply: G,
+    ) where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> Vec<T> + Sync,
+        R: Fn(&T, &T) -> T + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync,
+    {
+        Machine::allreduce_elementwise(self, phase, share_bytes, extract, reduce, apply);
+    }
+
+    fn barrier(&mut self) {
+        Machine::barrier(self);
+    }
+}

@@ -1,0 +1,85 @@
+//! Host-side parallel execution of rank loops.
+//!
+//! Replaces the former rayon dependency with scoped threads from `std`:
+//! rank states are split into contiguous chunks, one chunk per host core,
+//! and results are reassembled in rank order, so execution order can never
+//! leak into results (ranks only interact at superstep boundaries anyway).
+
+use std::thread;
+
+/// Apply `f` to every `(rank, state, arg)` triple, possibly across host
+/// threads, returning outputs in rank order.  Falls back to a plain loop
+/// when only one worker is available or the input is tiny.
+pub(crate) fn par_map<S, X, T, F>(states: &mut [S], args: Vec<X>, f: &F) -> Vec<T>
+where
+    S: Send,
+    X: Send,
+    T: Send,
+    F: Fn(usize, &mut S, X) -> T + Sync,
+{
+    let n = states.len();
+    debug_assert_eq!(n, args.len());
+    let workers = thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return states
+            .iter_mut()
+            .zip(args)
+            .enumerate()
+            .map(|(r, (s, x))| f(r, s, x))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = states;
+        let mut args = args.into_iter();
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let xs: Vec<X> = args.by_ref().take(take).collect();
+            handles.push(scope.spawn(move || {
+                head.iter_mut()
+                    .zip(xs)
+                    .enumerate()
+                    .map(|(i, (s, x))| f(base + i, s, x))
+                    .collect::<Vec<T>>()
+            }));
+            base += take;
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("host worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_rank_order() {
+        let mut states: Vec<u64> = (0..37).collect();
+        let args: Vec<u64> = (0..37).map(|i| i * 2).collect();
+        let out = par_map(&mut states, args, &|r, s, x| {
+            *s += 1;
+            (r as u64) * 1000 + *s + x
+        });
+        for (r, v) in out.iter().enumerate() {
+            let expect = (r as u64) * 1000 + (r as u64 + 1) + (r as u64) * 2;
+            assert_eq!(*v, expect);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut states: Vec<u8> = Vec::new();
+        let out: Vec<u8> = par_map(&mut states, Vec::new(), &|_, s, ()| *s);
+        assert!(out.is_empty());
+    }
+}

@@ -18,8 +18,14 @@
 //! processor, and maximum message counts.
 //!
 //! Virtual ranks are executed either sequentially or across host cores via
-//! rayon ([`ExecMode`]); both produce bit-identical results because ranks
-//! only interact through the router at superstep boundaries.
+//! scoped threads ([`ExecMode`]); both produce bit-identical results
+//! because ranks only interact through the router at superstep boundaries.
+//!
+//! Beyond the modeled machine, the crate ships a second executor: the
+//! real-threads [`ThreadedMachine`] runs every virtual rank on its own OS
+//! thread with genuine message passing over [`threaded::Mailbox`]
+//! channels.  Both executors implement [`SpmdEngine`], so the same phase
+//! program runs — and produces bit-identical rank states — on either.
 //!
 //! ```
 //! use pic_machine::{ExecMode, Machine, MachineConfig, PhaseKind};
@@ -46,13 +52,18 @@
 pub mod clock;
 pub mod collectives;
 pub mod config;
+pub mod engine;
+mod host_par;
 pub mod machine;
 pub mod payload;
 pub mod stats;
 pub mod threaded;
+pub mod threaded_engine;
 
 pub use clock::Clock;
 pub use config::{MachineConfig, Topology};
+pub use engine::SpmdEngine;
 pub use machine::{ExecMode, Machine, Outbox, PhaseCtx};
 pub use payload::Payload;
 pub use stats::{PhaseKind, StatsLog, SuperstepStats};
+pub use threaded_engine::ThreadedMachine;

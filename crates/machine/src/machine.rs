@@ -14,10 +14,9 @@
 //! Self-messages are delivered but cost nothing, matching the paper's
 //! machine model where only *off-processor* accesses pay τ/μ.
 
-use rayon::prelude::*;
-
 use crate::clock::Clock;
 use crate::config::MachineConfig;
+use crate::host_par;
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
 
@@ -25,12 +24,14 @@ use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
 ///
 /// Both modes produce bit-identical simulation results; `Rayon` simply
 /// spreads rank loops over host cores for wall-clock speed on the big
-/// parameter sweeps.
+/// parameter sweeps.  (The name is historic: the host-parallel mode now
+/// runs on `std` scoped threads — see [`crate::host_par`] — so the
+/// workspace builds with no external dependencies.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// Run ranks one after another on the calling thread.
     Sequential,
-    /// Run ranks across the rayon thread pool.
+    /// Run ranks across host threads, one contiguous chunk per core.
     Rayon,
 }
 
@@ -64,8 +65,17 @@ pub struct Outbox<M> {
 }
 
 impl<M: Payload> Outbox<M> {
-    fn new(ranks: usize) -> Self {
-        Self { msgs: Vec::new(), ranks }
+    pub(crate) fn new(ranks: usize) -> Self {
+        Self {
+            msgs: Vec::new(),
+            ranks,
+        }
+    }
+
+    /// Consume the outbox, returning the staged `(to, msg)` pairs in send
+    /// order (crate-internal: executors drain it after the compute half).
+    pub(crate) fn into_msgs(self) -> Vec<(usize, M)> {
+        self.msgs
     }
 
     /// Queue `msg` for delivery to rank `to` at the end of the superstep.
@@ -149,18 +159,12 @@ impl<S: Send> Machine<S> {
 
     /// Modeled elapsed time: the slowest rank's total.
     pub fn elapsed_s(&self) -> f64 {
-        self.clocks
-            .iter()
-            .map(Clock::total_s)
-            .fold(0.0, f64::max)
+        self.clocks.iter().map(Clock::total_s).fold(0.0, f64::max)
     }
 
     /// Maximum compute seconds over ranks.
     pub fn compute_s(&self) -> f64 {
-        self.clocks
-            .iter()
-            .map(|c| c.compute_s)
-            .fold(0.0, f64::max)
+        self.clocks.iter().map(|c| c.compute_s).fold(0.0, f64::max)
     }
 
     /// Superstep statistics log.
@@ -187,20 +191,20 @@ impl<S: Send> Machine<S> {
         let p = self.cfg.ranks;
 
         // --- compute half-step -------------------------------------------------
-        let run_compute = |(r, s): (usize, &mut S)| {
+        let run_compute = |r: usize, s: &mut S, (): ()| {
             let mut ctx = PhaseCtx::default();
             let mut outbox = Outbox::new(p);
             compute(r, s, &mut ctx, &mut outbox);
             (outbox.msgs, ctx.ops)
         };
         let outputs: Vec<(Vec<(usize, M)>, f64)> = match self.mode {
-            ExecMode::Sequential => self.states.iter_mut().enumerate().map(run_compute).collect(),
-            ExecMode::Rayon => self
+            ExecMode::Sequential => self
                 .states
-                .par_iter_mut()
+                .iter_mut()
                 .enumerate()
-                .map(run_compute)
+                .map(|(r, s)| run_compute(r, s, ()))
                 .collect(),
+            ExecMode::Rayon => host_par::par_map(&mut self.states, vec![(); p], &run_compute),
         };
 
         // --- route -------------------------------------------------------------
@@ -226,7 +230,7 @@ impl<S: Send> Machine<S> {
 
         // --- deliver half-step -------------------------------------------------
         let deliver_ops: Vec<f64> = {
-            let run_deliver = |((r, s), inbox): ((usize, &mut S), Vec<(usize, M)>)| {
+            let run_deliver = |r: usize, s: &mut S, inbox: Vec<(usize, M)>| {
                 let mut ctx = PhaseCtx::default();
                 deliver(r, s, &mut ctx, inbox);
                 ctx.ops
@@ -237,15 +241,9 @@ impl<S: Send> Machine<S> {
                     .iter_mut()
                     .enumerate()
                     .zip(inboxes)
-                    .map(run_deliver)
+                    .map(|((r, s), inbox)| run_deliver(r, s, inbox))
                     .collect(),
-                ExecMode::Rayon => self
-                    .states
-                    .par_iter_mut()
-                    .enumerate()
-                    .zip(inboxes)
-                    .map(run_deliver)
-                    .collect(),
+                ExecMode::Rayon => host_par::par_map(&mut self.states, inboxes, &run_deliver),
             }
         };
 
@@ -264,12 +262,7 @@ impl<S: Send> Machine<S> {
             max_compute = max_compute.max(compute_s);
             max_comm = max_comm.max(comm_s);
         }
-        let elapsed = self
-            .clocks
-            .iter()
-            .map(Clock::total_s)
-            .fold(0.0, f64::max)
-            - start;
+        let elapsed = self.clocks.iter().map(Clock::total_s).fold(0.0, f64::max) - start;
         let barrier = start + elapsed;
         for c in &mut self.clocks {
             c.sync_to(barrier);

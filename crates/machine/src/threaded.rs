@@ -1,21 +1,101 @@
 //! A real-threads message-passing executor.
 //!
-//! The BSP [`crate::Machine`] models communication; this module *performs*
-//! it: each virtual rank becomes an OS thread with a crossbeam mailbox and
+//! The BSP [`crate::Machine`] *models* communication; this module
+//! *performs* it: each virtual rank becomes an OS thread with a mailbox of
 //! point-to-point channels, demonstrating that the superstep protocol maps
 //! one-to-one onto genuine message passing (the role MPI played for the
-//! paper).  It is used by integration tests to cross-validate the modeled
-//! machine: the same SPMD program must produce identical rank states on
-//! both executors.
+//! paper).  Two entry points:
+//!
+//! * [`run_spmd`] — run a rank-local program on `p` spawned threads, each
+//!   holding a [`Mailbox`]; the building block and its own public API;
+//! * [`crate::ThreadedMachine`] — an engine implementing
+//!   [`crate::SpmdEngine`], so the PIC phase programs in `pic-core` run
+//!   unchanged on real threads (see `crate::threaded_engine`).
+//!
+//! ## Collectives
+//!
+//! [`Mailbox`] implements the collectives the phases need on top of plain
+//! sends: [`Mailbox::allgather`], [`Mailbox::allgatherv`], the all-to-many
+//! [`Mailbox::exchange`] with a message-count handshake (every rank first
+//! tells every peer how many messages to expect, then streams them), and a
+//! dissemination [`Mailbox::barrier`].
+//!
+//! ## Failure semantics
+//!
+//! A panicking rank must not leave peers blocked in a receive forever
+//! (every mailbox holds a clone of every sender — including its own — so
+//! channels never close on their own).  Two mechanisms bound every run:
+//!
+//! * **poison propagation** — each rank thread runs its program under
+//!   `catch_unwind`; on panic it broadcasts a poison message to every
+//!   rank before exiting, and any rank that receives poison panics in
+//!   turn, so the whole run unwinds promptly and [`run_spmd`] re-raises
+//!   the original payload;
+//! * **receive timeout** — every blocking receive uses a deadline
+//!   (default [`DEFAULT_RECV_TIMEOUT`]); a genuine protocol deadlock
+//!   panics with a diagnostic instead of hanging the process.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread;
+use std::time::Duration;
 
-/// Handle to the channels of one rank inside [`run_spmd`].
+/// Default per-receive deadline before a run is declared deadlocked.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Panic payload used when a rank aborts because a *peer* panicked.  The
+/// runners filter these out so the root cause's payload is what callers
+/// see re-raised.
+pub(crate) struct PoisonedBy(pub(crate) usize);
+
+/// What travels on the wire between rank threads.
+pub(crate) enum Wire<M> {
+    /// One point-to-point message.
+    Msg(M),
+    /// A whole vector contributed to a vector collective.
+    Many(Vec<M>),
+    /// Count handshake of [`Mailbox::exchange`]: "expect this many
+    /// messages from me in this exchange".
+    Count(usize),
+    /// Dissemination-barrier token for the given round.
+    Barrier(u32),
+    /// The sending rank panicked; receivers must unwind.
+    Poison,
+}
+
+/// Handle to the channels of one rank inside an SPMD run.
 pub struct Mailbox<M> {
     rank: usize,
-    senders: Vec<Sender<(usize, M)>>,
-    receiver: Receiver<(usize, M)>,
+    senders: Vec<Sender<(usize, Wire<M>)>>,
+    receiver: Receiver<(usize, Wire<M>)>,
+    /// Messages received while waiting for something else (e.g. a fast
+    /// peer's next-step traffic arriving during this step's collective).
+    pending: VecDeque<(usize, Wire<M>)>,
+    timeout: Duration,
+}
+
+/// Build the `p` connected mailboxes of one run.
+pub(crate) fn make_mailboxes<M>(p: usize, timeout: Duration) -> Vec<Mailbox<M>> {
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = channel();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| Mailbox {
+            rank,
+            senders: senders.clone(),
+            receiver,
+            pending: VecDeque::new(),
+            timeout,
+        })
+        .collect()
 }
 
 impl<M: Send> Mailbox<M> {
@@ -29,24 +109,240 @@ impl<M: Send> Mailbox<M> {
         self.senders.len()
     }
 
+    /// Clones of every rank's sender (for poison broadcasting by the
+    /// thread wrapper, which outlives the mailbox itself).
+    pub(crate) fn sender_clones(&self) -> Vec<Sender<(usize, Wire<M>)>> {
+        self.senders.clone()
+    }
+
+    fn push_wire(&self, to: usize, wire: Wire<M>) {
+        assert!(
+            to < self.senders.len(),
+            "destination rank {to} out of range"
+        );
+        // A closed channel means the receiving thread is gone, which only
+        // happens when the run is already unwinding; drop silently so the
+        // first panic stays the root cause.
+        let _ = self.senders[to].send((self.rank, wire));
+    }
+
     /// Send `msg` to rank `to`.
     ///
     /// # Panics
-    /// Panics if `to` is out of range or the receiving thread is gone.
+    /// Panics if `to` is out of range.
     pub fn send(&self, to: usize, msg: M) {
-        self.senders[to]
-            .send((self.rank, msg))
-            .expect("receiving rank terminated");
+        self.push_wire(to, Wire::Msg(msg));
     }
 
-    /// Receive exactly `n` messages, returned sorted by sender rank so the
+    /// Next wire message satisfying `pred`, buffering others (poison and
+    /// timeout both panic).
+    fn next_matching<P: Fn(&Wire<M>) -> bool>(&mut self, pred: P) -> (usize, Wire<M>) {
+        if let Some(pos) = self.pending.iter().position(|(_, w)| pred(w)) {
+            return self.pending.remove(pos).expect("position just found");
+        }
+        loop {
+            match self.receiver.recv_timeout(self.timeout) {
+                Ok((from, Wire::Poison)) => std::panic::panic_any(PoisonedBy(from)),
+                Ok((from, wire)) if pred(&wire) => return (from, wire),
+                Ok(other) => self.pending.push_back(other),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {} received no message within {:?} — SPMD deadlock suspected",
+                    self.rank, self.timeout
+                ),
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "rank {}: all peers gone before the expected message arrived",
+                    self.rank
+                ),
+            }
+        }
+    }
+
+    /// Receive exactly `n` point-to-point messages, returned sorted by
+    /// sender rank (stable: order within one sender is preserved) so the
     /// result is deterministic regardless of thread scheduling.
-    pub fn recv_exact(&self, n: usize) -> Vec<(usize, M)> {
+    ///
+    /// # Panics
+    /// Panics on poison (a peer died) or timeout (deadlock).
+    pub fn recv_exact(&mut self, n: usize) -> Vec<(usize, M)> {
         let mut msgs: Vec<(usize, M)> = (0..n)
-            .map(|_| self.receiver.recv().expect("sender terminated"))
+            .map(|_| {
+                let (from, wire) = self.next_matching(|w| matches!(w, Wire::Msg(_)));
+                match wire {
+                    Wire::Msg(m) => (from, m),
+                    _ => unreachable!("next_matching returned a non-Msg wire"),
+                }
+            })
             .collect();
         msgs.sort_by_key(|&(from, _)| from);
         msgs
+    }
+
+    /// All-to-many exchange with a message-count handshake: every rank
+    /// first tells every peer how many messages to expect, then streams
+    /// the payloads.  Self-addressed messages round-trip through the
+    /// rank's own channel.  Returns the inbox sorted by sender rank with
+    /// per-sender order preserved — exactly the modeled machine's
+    /// delivery order.
+    pub fn exchange(&mut self, outgoing: Vec<(usize, M)>) -> Vec<(usize, M)> {
+        let p = self.num_ranks();
+        let mut counts = vec![0usize; p];
+        for (to, _) in &outgoing {
+            assert!(*to < p, "destination rank {to} out of range");
+            counts[*to] += 1;
+        }
+        for (to, &n) in counts.iter().enumerate() {
+            self.push_wire(to, Wire::Count(n));
+        }
+        for (to, msg) in outgoing {
+            self.push_wire(to, Wire::Msg(msg));
+        }
+        // collect until every peer's count is known and fulfilled
+        let mut expected: Vec<Option<usize>> = vec![None; p];
+        let mut got: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
+        let done = |expected: &[Option<usize>], got: &[Vec<M>]| {
+            expected
+                .iter()
+                .zip(got)
+                .all(|(e, g)| e.map(|n| g.len() == n).unwrap_or(false))
+        };
+        while !done(&expected, &got) {
+            let (from, wire) = self.next_matching(|w| matches!(w, Wire::Count(_) | Wire::Msg(_)));
+            match wire {
+                Wire::Count(n) => {
+                    assert!(
+                        expected[from].is_none(),
+                        "rank {from} sent two exchange handshakes"
+                    );
+                    expected[from] = Some(n);
+                }
+                Wire::Msg(m) => got[from].push(m),
+                _ => unreachable!("next_matching returned a non-exchange wire"),
+            }
+        }
+        got.into_iter()
+            .enumerate()
+            .flat_map(|(from, msgs)| msgs.into_iter().map(move |m| (from, m)))
+            .collect()
+    }
+
+    /// Global concatenation: contribute `value`, receive every rank's
+    /// contribution indexed by rank.
+    pub fn allgather(&mut self, value: M) -> Vec<M>
+    where
+        M: Clone,
+    {
+        let per_rank = self.allgather_vec(vec![value]);
+        per_rank
+            .into_iter()
+            .map(|mut v| {
+                assert_eq!(v.len(), 1, "allgather contribution must be one value");
+                v.pop().expect("length checked")
+            })
+            .collect()
+    }
+
+    /// Vector allgather keeping contributions separate: rank `r`'s
+    /// contribution is element `r` of the result.
+    pub fn allgather_vec(&mut self, values: Vec<M>) -> Vec<Vec<M>>
+    where
+        M: Clone,
+    {
+        let p = self.num_ranks();
+        for to in 0..p {
+            if to != self.rank {
+                self.push_wire(to, Wire::Many(values.clone()));
+            }
+        }
+        let mut result: Vec<Option<Vec<M>>> = vec![None; p];
+        result[self.rank] = Some(values);
+        while result.iter().any(Option::is_none) {
+            let (from, wire) = self.next_matching(|w| matches!(w, Wire::Many(_)));
+            let Wire::Many(v) = wire else {
+                unreachable!("next_matching returned a non-Many wire")
+            };
+            assert!(
+                result[from].is_none(),
+                "rank {from} contributed twice to one allgather"
+            );
+            result[from] = Some(v);
+        }
+        result.into_iter().map(|v| v.expect("all filled")).collect()
+    }
+
+    /// Global concatenation of vectors in rank order (the paper's "global
+    /// concatenation" used by bucket incremental sorting).
+    pub fn allgatherv(&mut self, values: Vec<M>) -> Vec<M>
+    where
+        M: Clone,
+    {
+        self.allgather_vec(values).into_iter().flatten().collect()
+    }
+
+    /// Dissemination barrier: `ceil(log2 p)` rounds of token passing.
+    ///
+    /// At round `k` the only rank that ever sends *this* rank a round-`k`
+    /// token is `(rank - 2^k) mod p` (the offset determines the round
+    /// uniquely per sender pair), and per-sender FIFO ordering keeps
+    /// consecutive barriers from confusing each other's tokens, so
+    /// matching on the round number alone is unambiguous.
+    pub fn barrier(&mut self) {
+        let p = self.num_ranks();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let to = (self.rank + dist) % p;
+            let expect_from = (self.rank + p - dist) % p;
+            self.push_wire(to, Wire::Barrier(round));
+            let want = round;
+            let (got_from, _) = self.next_matching(|w| matches!(w, Wire::Barrier(r) if *r == want));
+            debug_assert_eq!(got_from, expect_from, "unexpected barrier peer");
+            round += 1;
+            dist *= 2;
+        }
+    }
+}
+
+/// Broadcast poison to every rank (used by thread wrappers on panic).
+pub(crate) fn poison_all<M: Send>(rank: usize, senders: &[Sender<(usize, Wire<M>)>]) {
+    for tx in senders {
+        let _ = tx.send((rank, Wire::Poison));
+    }
+}
+
+/// Split per-rank outcomes into results or the panic to re-raise.
+///
+/// When several ranks panicked, the *root cause* wins: a [`PoisonedBy`]
+/// payload means the rank only unwound because a peer died, so any
+/// non-poison payload takes precedence regardless of rank order.
+pub(crate) fn resolve_rank_results<R>(
+    outcomes: Vec<Result<R, Box<dyn Any + Send>>>,
+) -> Result<Vec<R>, Box<dyn Any + Send>> {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut root: Option<Box<dyn Any + Send>> = None;
+    let mut poison: Option<Box<dyn Any + Send>> = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(e) if e.is::<PoisonedBy>() => {
+                poison.get_or_insert(e);
+            }
+            Err(e) => {
+                root.get_or_insert(e);
+            }
+        }
+    }
+    let describe = |e: Box<dyn Any + Send>| -> Box<dyn Any + Send> {
+        // A run that only saw poison (root thread died without unwinding
+        // through catch_unwind, e.g. via abort-on-double-panic) still gets
+        // a readable message.
+        match e.downcast::<PoisonedBy>() {
+            Ok(p) => Box::new(format!("rank {} panicked; SPMD run poisoned", p.0)),
+            Err(e) => e,
+        }
+    };
+    match root.or_else(|| poison.map(describe)) {
+        Some(e) => Err(e),
+        None => Ok(results),
     }
 }
 
@@ -54,48 +350,64 @@ impl<M: Send> Mailbox<M> {
 /// [`Mailbox`].  Returns the per-rank results in rank order.
 ///
 /// # Panics
-/// Propagates panics from rank threads.
+/// Propagates the first panicking rank's payload.  A panicking rank
+/// poisons all peers, so the call returns (or panics) within bounded
+/// time instead of hanging peers in a receive.
 pub fn run_spmd<M, R, F>(p: usize, program: F) -> Vec<R>
 where
     M: Send + 'static,
     R: Send + 'static,
     F: Fn(Mailbox<M>) -> R + Send + Sync + 'static + Clone,
 {
+    run_spmd_with_timeout(p, DEFAULT_RECV_TIMEOUT, program)
+}
+
+/// [`run_spmd`] with an explicit per-receive deadline (tests use short
+/// deadlines to assert bounded-time failure).
+pub fn run_spmd_with_timeout<M, R, F>(p: usize, timeout: Duration, program: F) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: Fn(Mailbox<M>) -> R + Send + Sync + 'static + Clone,
+{
     assert!(p > 0, "need at least one rank");
-    let mut senders = Vec::with_capacity(p);
-    let mut receivers = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let handles: Vec<thread::JoinHandle<R>> = receivers
+    let mailboxes = make_mailboxes::<M>(p, timeout);
+    let handles: Vec<_> = mailboxes
         .into_iter()
-        .enumerate()
-        .map(|(rank, receiver)| {
-            let mailbox = Mailbox {
-                rank,
-                senders: senders.clone(),
-                receiver,
-            };
+        .map(|mailbox| {
+            let rank = mailbox.rank();
+            let senders = mailbox.sender_clones();
             let program = program.clone();
-            thread::spawn(move || program(mailbox))
+            thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| program(mailbox)));
+                if result.is_err() {
+                    poison_all(rank, &senders);
+                }
+                result
+            })
         })
         .collect();
-    drop(senders);
-    handles
+    let outcomes: Vec<_> = handles
         .into_iter()
-        .map(|h| h.join().expect("rank thread panicked"))
-        .collect()
+        .map(|h| match h.join() {
+            Ok(inner) => inner,
+            Err(payload) => Err(payload),
+        })
+        .collect();
+    match resolve_rank_results(outcomes) {
+        Ok(results) => results,
+        Err(payload) => resume_unwind(payload),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn ring_rotation_on_real_threads() {
-        let results = run_spmd::<u64, u64, _>(4, |mb| {
+        let results = run_spmd::<u64, u64, _>(4, |mut mb| {
             let next = (mb.rank() + 1) % mb.num_ranks();
             mb.send(next, mb.rank() as u64 * 100);
             let got = mb.recv_exact(1);
@@ -106,7 +418,7 @@ mod tests {
 
     #[test]
     fn all_to_all_is_deterministic() {
-        let results = run_spmd::<u64, Vec<u64>, _>(8, |mb| {
+        let results = run_spmd::<u64, Vec<u64>, _>(8, |mut mb| {
             let p = mb.num_ranks();
             for to in 0..p {
                 if to != mb.rank() {
@@ -128,5 +440,88 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         run_spmd::<u64, (), _>(0, |_mb| {});
+    }
+
+    #[test]
+    fn exchange_handshake_round_trips() {
+        let results = run_spmd::<(u64, u64), Vec<(usize, (u64, u64))>, _>(6, |mut mb| {
+            let r = mb.rank();
+            // rank r sends k = r messages, spread over peers (r+1)..(r+1+r)
+            let outgoing: Vec<(usize, (u64, u64))> = (0..r)
+                .map(|k| (((r + 1 + k) % mb.num_ranks()), (r as u64, k as u64)))
+                .collect();
+            mb.exchange(outgoing)
+        });
+        let total: usize = results.iter().map(Vec::len).sum();
+        assert_eq!(total, (0..6).sum::<usize>());
+        for inbox in &results {
+            // sorted by sender, per-sender send order preserved
+            assert!(inbox.windows(2).all(|w| w[0].0 <= w[1].0));
+            for w in inbox.windows(2) {
+                if w[0].0 == w[1].0 {
+                    assert!(w[0].1 .1 < w[1].1 .1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_agree_with_direct_computation() {
+        let results = run_spmd::<u64, (Vec<u64>, Vec<u64>), _>(5, |mut mb| {
+            let r = mb.rank() as u64;
+            let gathered = mb.allgather(r * 7);
+            let concat = mb.allgatherv(vec![r; mb.rank()]);
+            mb.barrier();
+            (gathered, concat)
+        });
+        let expect_concat: Vec<u64> = (0..5u64).flat_map(|r| vec![r; r as usize]).collect();
+        for (gathered, concat) in results {
+            assert_eq!(gathered, vec![0, 7, 14, 21, 28]);
+            assert_eq!(concat, expect_concat);
+        }
+    }
+
+    #[test]
+    fn panicking_rank_fails_the_run_promptly() {
+        for p in [1usize, 2, 4, 8] {
+            let start = Instant::now();
+            let result = catch_unwind(|| {
+                run_spmd_with_timeout::<u64, (), _>(p, Duration::from_secs(20), move |mut mb| {
+                    if mb.rank() == p / 2 {
+                        panic!("injected failure on rank {}", p / 2);
+                    }
+                    // everyone else waits for a message that never comes
+                    let _ = mb.recv_exact(1);
+                })
+            });
+            assert!(result.is_err(), "p={p}: run must fail");
+            let msg = result
+                .unwrap_err()
+                .downcast::<String>()
+                .map(|s| *s)
+                .unwrap_or_default();
+            assert!(
+                msg.contains("injected failure"),
+                "p={p}: original panic payload must win, got {msg:?}"
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(15),
+                "p={p}: failure must propagate promptly, took {:?}",
+                start.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_times_out_instead_of_hanging() {
+        let start = Instant::now();
+        let result = catch_unwind(|| {
+            run_spmd_with_timeout::<u64, (), _>(2, Duration::from_millis(200), |mut mb| {
+                // both ranks wait forever: nothing is ever sent
+                let _ = mb.recv_exact(1);
+            })
+        });
+        assert!(result.is_err());
+        assert!(start.elapsed() < Duration::from_secs(10));
     }
 }

@@ -1,0 +1,519 @@
+//! [`ThreadedMachine`]: the real-threads implementation of [`SpmdEngine`].
+//!
+//! Each superstep or collective spawns one scoped OS thread per virtual
+//! rank; ranks communicate through [`crate::threaded::Mailbox`] channels,
+//! so the communication the modeled [`Machine`](crate::Machine) *charges*
+//! is here actually *performed*.  Where the modeled machine reports τ/μ/δ
+//! seconds, this engine reports wall-clock seconds; the statistics log
+//! carries the same off-rank message/byte counts (they are a property of
+//! the program, not the executor), which is what makes the two logs
+//! directly comparable in the `threaded_vs_modeled` bench.
+//!
+//! Rank results are bit-identical to the modeled machine by construction:
+//!
+//! * the exchange delivers inboxes sorted by sender rank with per-sender
+//!   order preserved — the modeled router's order;
+//! * collective folds run in rank order on every rank, so floating-point
+//!   reductions associate identically;
+//! * ranks share no mutable state between synchronization points.
+//!
+//! Failure semantics come from the mailbox layer: a panicking rank poisons
+//! its peers and every entry point re-raises the *root* panic within
+//! bounded time (see [`crate::threaded`]).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::config::MachineConfig;
+use crate::engine::SpmdEngine;
+use crate::machine::{ExecMode, Outbox, PhaseCtx};
+use crate::payload::Payload;
+use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
+use crate::threaded::{
+    make_mailboxes, poison_all, resolve_rank_results, Mailbox, DEFAULT_RECV_TIMEOUT,
+};
+
+/// Per-rank accounting returned from a superstep's rank thread.
+struct RankReport {
+    compute: Duration,
+    sent_msgs: u64,
+    sent_bytes: u64,
+    recv_msgs: u64,
+    recv_bytes: u64,
+}
+
+/// An [`SpmdEngine`] that executes every virtual rank on its own OS
+/// thread with real message passing.  See the module docs.
+pub struct ThreadedMachine<S> {
+    cfg: MachineConfig,
+    states: Vec<S>,
+    stats: StatsLog,
+    /// Accumulated wall-clock seconds across operations.
+    elapsed_wall_s: f64,
+    /// Accumulated per-superstep maximum rank compute wall seconds.
+    compute_wall_s: f64,
+    timeout: Duration,
+}
+
+impl<S: Send> ThreadedMachine<S> {
+    /// Build a threaded machine whose rank `r` starts with `states[r]`.
+    ///
+    /// # Panics
+    /// Panics if `states.len() != cfg.ranks`.
+    pub fn new(cfg: MachineConfig, states: Vec<S>) -> Self {
+        assert_eq!(
+            states.len(),
+            cfg.ranks,
+            "state count {} != configured ranks {}",
+            states.len(),
+            cfg.ranks
+        );
+        Self {
+            cfg,
+            states,
+            stats: StatsLog::new(),
+            elapsed_wall_s: 0.0,
+            compute_wall_s: 0.0,
+            timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+
+    /// Use a custom per-receive deadline (tests use short ones to assert
+    /// bounded-time failure).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Run `f` on every rank, one scoped OS thread each, connected by a
+    /// fresh set of mailboxes.  Returns per-rank results in rank order
+    /// plus the operation's wall time.
+    ///
+    /// # Panics
+    /// Re-raises the root panic if any rank panics (peers are poisoned so
+    /// the call never hangs).
+    fn run_ranks<M, R, F>(&mut self, f: F) -> (Vec<R>, Duration)
+    where
+        M: Send,
+        R: Send,
+        F: Fn(usize, &mut S, Mailbox<M>) -> R + Sync,
+    {
+        let start = Instant::now();
+        let mailboxes = make_mailboxes::<M>(self.cfg.ranks, self.timeout);
+        let f = &f;
+        let outcomes: Vec<_> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .states
+                .iter_mut()
+                .zip(mailboxes)
+                .enumerate()
+                .map(|(r, (s, mb))| {
+                    let senders = mb.sender_clones();
+                    scope.spawn(move || {
+                        let out = catch_unwind(AssertUnwindSafe(|| f(r, s, mb)));
+                        if out.is_err() {
+                            poison_all(r, &senders);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(inner) => inner,
+                    Err(payload) => Err(payload),
+                })
+                .collect()
+        });
+        match resolve_rank_results(outcomes) {
+            Ok(results) => (results, start.elapsed()),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Record a collective with the same modeled message/byte counts the
+    /// BSP machine would charge (they describe the algorithm, not the
+    /// executor) but wall-clock elapsed time.
+    fn push_collective_stats(&mut self, phase: PhaseKind, share_bytes: usize, wall: Duration) {
+        let p = self.cfg.ranks;
+        let stages = self.cfg.topology.collective_stages(p) as u64;
+        let wall_s = wall.as_secs_f64();
+        self.elapsed_wall_s += wall_s;
+        self.stats.push(SuperstepStats {
+            phase,
+            max_msgs_sent: if p > 1 { stages } else { 0 },
+            max_msgs_recv: if p > 1 { stages } else { 0 },
+            max_bytes_sent: ((p - 1) * share_bytes) as u64,
+            max_bytes_recv: ((p - 1) * share_bytes) as u64,
+            total_msgs: if p > 1 { stages * p as u64 } else { 0 },
+            total_bytes: ((p - 1) * share_bytes * p) as u64,
+            max_compute_s: 0.0,
+            max_comm_s: wall_s,
+            elapsed_s: wall_s,
+        });
+    }
+}
+
+impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
+    fn build(cfg: MachineConfig, _mode: ExecMode, states: Vec<S>) -> Self {
+        // ExecMode is a host-parallelism knob for the modeled machine;
+        // here every rank is an OS thread already, so it is ignored.
+        ThreadedMachine::new(cfg, states)
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.cfg.ranks
+    }
+
+    fn machine_config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn ranks(&self) -> &[S] {
+        &self.states
+    }
+
+    fn ranks_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    fn into_ranks(self) -> Vec<S> {
+        self.states
+    }
+
+    fn elapsed_s(&self) -> f64 {
+        self.elapsed_wall_s
+    }
+
+    fn compute_s(&self) -> f64 {
+        self.compute_wall_s
+    }
+
+    fn stats(&self) -> &StatsLog {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut StatsLog {
+        &mut self.stats
+    }
+
+    fn superstep<M, F, G>(&mut self, phase: PhaseKind, compute: F, deliver: G)
+    where
+        M: Payload,
+        F: Fn(usize, &mut S, &mut PhaseCtx, &mut Outbox<M>) + Sync,
+        G: Fn(usize, &mut S, &mut PhaseCtx, Vec<(usize, M)>) + Sync,
+    {
+        let p = self.cfg.ranks;
+        let compute = &compute;
+        let deliver = &deliver;
+        let (reports, wall) = self.run_ranks::<M, RankReport, _>(move |r, s, mut mb| {
+            let t0 = Instant::now();
+            let mut ctx = PhaseCtx::default();
+            let mut outbox = Outbox::new(p);
+            compute(r, s, &mut ctx, &mut outbox);
+            let outgoing = outbox.into_msgs();
+            let compute_half = t0.elapsed();
+
+            let (mut sent_msgs, mut sent_bytes) = (0u64, 0u64);
+            for (to, msg) in &outgoing {
+                if *to != r {
+                    sent_msgs += 1;
+                    sent_bytes += msg.size_bytes() as u64;
+                }
+            }
+            let inbox = mb.exchange(outgoing);
+            let (mut recv_msgs, mut recv_bytes) = (0u64, 0u64);
+            for (from, msg) in &inbox {
+                if *from != r {
+                    recv_msgs += 1;
+                    recv_bytes += msg.size_bytes() as u64;
+                }
+            }
+
+            let t1 = Instant::now();
+            let mut ctx = PhaseCtx::default();
+            deliver(r, s, &mut ctx, inbox);
+            let deliver_half = t1.elapsed();
+            mb.barrier();
+            RankReport {
+                compute: compute_half + deliver_half,
+                sent_msgs,
+                sent_bytes,
+                recv_msgs,
+                recv_bytes,
+            }
+        });
+
+        let wall_s = wall.as_secs_f64();
+        let max_compute_s = reports
+            .iter()
+            .map(|rep| rep.compute.as_secs_f64())
+            .fold(0.0, f64::max);
+        self.elapsed_wall_s += wall_s;
+        self.compute_wall_s += max_compute_s;
+        self.stats.push(SuperstepStats {
+            phase,
+            max_msgs_sent: reports.iter().map(|r| r.sent_msgs).max().unwrap_or(0),
+            max_msgs_recv: reports.iter().map(|r| r.recv_msgs).max().unwrap_or(0),
+            max_bytes_sent: reports.iter().map(|r| r.sent_bytes).max().unwrap_or(0),
+            max_bytes_recv: reports.iter().map(|r| r.recv_bytes).max().unwrap_or(0),
+            total_msgs: reports.iter().map(|r| r.sent_msgs).sum(),
+            total_bytes: reports.iter().map(|r| r.sent_bytes).sum(),
+            max_compute_s,
+            max_comm_s: (wall_s - max_compute_s).max(0.0),
+            elapsed_s: wall_s,
+        });
+    }
+
+    fn allgather<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> T + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync,
+    {
+        let extract = &extract;
+        let apply = &apply;
+        let (_, wall) = self.run_ranks::<T, (), _>(move |r, s, mut mb| {
+            let all = mb.allgather(extract(r, s));
+            apply(r, s, &all);
+        });
+        self.push_collective_stats(phase, bytes_per_item, wall);
+    }
+
+    fn allgatherv<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> Vec<T> + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync,
+    {
+        let extract = &extract;
+        let apply = &apply;
+        let (lens, wall) = self.run_ranks::<T, usize, _>(move |r, s, mut mb| {
+            let part = extract(r, s);
+            let share = part.len();
+            let concat = mb.allgatherv(part);
+            apply(r, s, &concat);
+            share
+        });
+        let max_share = lens.into_iter().max().unwrap_or(0);
+        self.push_collective_stats(phase, max_share * bytes_per_item, wall);
+    }
+
+    fn allreduce<T, F, R, G>(&mut self, phase: PhaseKind, extract: F, reduce: R, apply: G)
+    where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+        G: Fn(usize, &mut S, &T) + Sync,
+    {
+        let extract = &extract;
+        let reduce = &reduce;
+        let apply = &apply;
+        let (_, wall) = self.run_ranks::<T, (), _>(move |r, s, mut mb| {
+            // gather everyone's value, fold in rank order locally: the
+            // same association order as the modeled machine, so
+            // floating-point results are bit-identical.
+            let mut it = mb.allgather(extract(r, s)).into_iter();
+            let first = it.next().expect("machine has at least one rank");
+            let folded = it.fold(first, reduce);
+            apply(r, s, &folded);
+        });
+        self.push_collective_stats(phase, 8, wall);
+    }
+
+    fn allreduce_elementwise<T, F, R, G>(
+        &mut self,
+        phase: PhaseKind,
+        share_bytes: usize,
+        extract: F,
+        reduce: R,
+        apply: G,
+    ) where
+        T: Clone + Send,
+        F: Fn(usize, &S) -> Vec<T> + Sync,
+        R: Fn(&T, &T) -> T + Sync,
+        G: Fn(usize, &mut S, &[T]) + Sync,
+    {
+        let extract = &extract;
+        let reduce = &reduce;
+        let apply = &apply;
+        let (_, wall) = self.run_ranks::<Vec<T>, (), _>(move |r, s, mut mb| {
+            let mut parts = mb.allgather(extract(r, s)).into_iter();
+            let mut acc = parts.next().expect("machine has at least one rank");
+            for v in parts {
+                assert_eq!(v.len(), acc.len(), "ragged allreduce contributions");
+                for (a, b) in acc.iter_mut().zip(&v) {
+                    *a = reduce(a, b);
+                }
+            }
+            apply(r, s, &acc);
+        });
+        // Mirror the modeled machine's pipelined-tree accounting.
+        let p = self.cfg.ranks;
+        let stages = self.cfg.topology.collective_stages(p) as u64;
+        let wall_s = wall.as_secs_f64();
+        self.elapsed_wall_s += wall_s;
+        self.stats.push(SuperstepStats {
+            phase,
+            max_msgs_sent: if p > 1 { stages } else { 0 },
+            max_msgs_recv: if p > 1 { stages } else { 0 },
+            max_bytes_sent: stages * share_bytes as u64,
+            max_bytes_recv: stages * share_bytes as u64,
+            total_msgs: if p > 1 { stages * p as u64 } else { 0 },
+            total_bytes: stages * (share_bytes * p) as u64,
+            max_compute_s: 0.0,
+            max_comm_s: wall_s,
+            elapsed_s: wall_s,
+        });
+    }
+
+    fn barrier(&mut self) {
+        let (_, wall) = self.run_ranks::<(), (), _>(|_r, _s, mut mb| mb.barrier());
+        self.elapsed_wall_s += wall.as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn tiny(p: usize) -> MachineConfig {
+        MachineConfig {
+            ranks: p,
+            tau: 1.0,
+            mu: 0.1,
+            delta: 0.01,
+            topology: Topology::FullyConnected,
+        }
+    }
+
+    #[test]
+    fn superstep_matches_modeled_machine() {
+        let run_modeled = || {
+            let mut m = crate::Machine::new(tiny(8), ExecMode::Sequential, vec![0u64; 8]);
+            drive(&mut m);
+            m.into_ranks()
+        };
+        let run_threaded = || {
+            let mut m = ThreadedMachine::new(tiny(8), vec![0u64; 8]);
+            drive(&mut m);
+            m.into_ranks()
+        };
+        fn drive<E: SpmdEngine<u64>>(m: &mut E) {
+            for step in 0..4u64 {
+                m.superstep(
+                    PhaseKind::Other,
+                    move |r, s, _ctx, ob: &mut Outbox<Vec<u64>>| {
+                        ob.send((r + 1) % 8, vec![*s + step]);
+                        ob.send((r + 3) % 8, vec![*s * 2 + step]);
+                    },
+                    |_r, s, _ctx, inbox| {
+                        for (from, msg) in inbox {
+                            *s = s.wrapping_add(msg[0]).wrapping_mul(from as u64 | 1);
+                        }
+                    },
+                );
+            }
+        }
+        assert_eq!(run_modeled(), run_threaded());
+    }
+
+    #[test]
+    fn superstep_counts_off_rank_traffic_like_modeled() {
+        let mut modeled = crate::Machine::new(tiny(4), ExecMode::Sequential, vec![(); 4]);
+        let mut threaded = ThreadedMachine::new(tiny(4), vec![(); 4]);
+        fn program<E: SpmdEngine<()>>(m: &mut E) {
+            m.superstep(
+                PhaseKind::Scatter,
+                |r, _s, _ctx, ob: &mut Outbox<Vec<f64>>| {
+                    ob.send((r + 1) % 4, vec![r as f64; r + 1]);
+                    ob.send(r, vec![9.0]); // self-message: free
+                },
+                |_, _, _, _| {},
+            );
+        }
+        program(&mut modeled);
+        program(&mut threaded);
+        let m = modeled.stats().records()[0];
+        let t = threaded.stats().records()[0];
+        assert_eq!(m.max_msgs_sent, t.max_msgs_sent);
+        assert_eq!(m.max_msgs_recv, t.max_msgs_recv);
+        assert_eq!(m.max_bytes_sent, t.max_bytes_sent);
+        assert_eq!(m.max_bytes_recv, t.max_bytes_recv);
+        assert_eq!(m.total_msgs, t.total_msgs);
+        assert_eq!(m.total_bytes, t.total_bytes);
+    }
+
+    #[test]
+    fn collectives_match_modeled_machine() {
+        fn drive<E: SpmdEngine<(f64, Vec<f64>)>>(m: &mut E) -> Vec<(f64, Vec<f64>)> {
+            m.allgather(
+                PhaseKind::Setup,
+                8,
+                |r, _s| r as f64 * 0.1,
+                |_r, s, all: &[f64]| s.1 = all.to_vec(),
+            );
+            m.allgatherv(
+                PhaseKind::Setup,
+                8,
+                |r, s| vec![s.0 + r as f64; r],
+                |_r, s, concat: &[f64]| s.1.extend_from_slice(concat),
+            );
+            m.allreduce(
+                PhaseKind::Other,
+                |_r, s| s.0,
+                |a, b| a + b * 1.0000001,
+                |_r, s, &v| s.0 = v,
+            );
+            m.allreduce_elementwise(
+                PhaseKind::Other,
+                8,
+                |r, _s| vec![r as f64, 1.0 / (r as f64 + 1.0)],
+                |a, b| a + b,
+                |_r, s, acc| s.1.extend_from_slice(acc),
+            );
+            m.barrier();
+            m.ranks().to_vec()
+        }
+        let states = |p: usize| (0..p).map(|r| (r as f64 * 0.31, Vec::new())).collect();
+        let mut modeled = crate::Machine::new(tiny(6), ExecMode::Sequential, states(6));
+        let mut threaded = ThreadedMachine::new(tiny(6), states(6));
+        let a = drive(&mut modeled);
+        let b = drive(&mut threaded);
+        // bit-identical including float folds
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+            assert_eq!(x.1.len(), y.1.len());
+            for (u, v) in x.1.iter().zip(&y.1) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_compute_half_propagates() {
+        let mut m =
+            ThreadedMachine::new(tiny(4), vec![0u64; 4]).with_timeout(Duration::from_secs(10));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            m.superstep(
+                PhaseKind::Other,
+                |r, _s, _ctx, _ob: &mut Outbox<Vec<u64>>| {
+                    if r == 2 {
+                        panic!("compute exploded on rank 2");
+                    }
+                },
+                |_, _, _, _| {},
+            );
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("compute exploded"), "got {msg:?}");
+    }
+}

@@ -138,7 +138,7 @@ fn threaded_executor_matches_bsp_machine() {
     // machine must produce identical rank states
     use pic_machine::threaded::run_spmd;
     let p = 6;
-    let threaded: Vec<u64> = run_spmd::<u64, u64, _>(p, move |mb| {
+    let threaded: Vec<u64> = run_spmd::<u64, u64, _>(p, move |mut mb| {
         let r = mb.rank();
         for to in 0..p {
             if to != r {

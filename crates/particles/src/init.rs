@@ -32,8 +32,10 @@ pub enum ParticleDistribution {
 
 impl ParticleDistribution {
     /// Loaders the paper's evaluation sweeps over.
-    pub const PAPER_CASES: [ParticleDistribution; 2] =
-        [ParticleDistribution::Uniform, ParticleDistribution::IrregularCenter];
+    pub const PAPER_CASES: [ParticleDistribution; 2] = [
+        ParticleDistribution::Uniform,
+        ParticleDistribution::IrregularCenter,
+    ];
 
     /// Short label for experiment rows.
     pub fn label(self) -> &'static str {
@@ -137,12 +139,11 @@ mod tests {
     #[test]
     fn irregular_is_concentrated_at_center() {
         let p = ParticleDistribution::IrregularCenter.load(4000, 64.0, 64.0, 0.1, 1);
-        let near = p
-            .x
-            .iter()
-            .zip(&p.y)
-            .filter(|&(&x, &y)| (x - 32.0).abs() < 16.0 && (y - 32.0).abs() < 16.0)
-            .count();
+        let near =
+            p.x.iter()
+                .zip(&p.y)
+                .filter(|&(&x, &y)| (x - 32.0).abs() < 16.0 && (y - 32.0).abs() < 16.0)
+                .count();
         // with sigma = 64/12 ~ 5.3, essentially everything is within 3 sigma
         assert!(near > 3900, "only {near} of 4000 near centre");
     }
@@ -150,12 +151,11 @@ mod tests {
     #[test]
     fn uniform_spreads_over_quadrants() {
         let p = ParticleDistribution::Uniform.load(4000, 64.0, 64.0, 0.1, 1);
-        let q1 = p
-            .x
-            .iter()
-            .zip(&p.y)
-            .filter(|&(&x, &y)| x < 32.0 && y < 32.0)
-            .count();
+        let q1 =
+            p.x.iter()
+                .zip(&p.y)
+                .filter(|&(&x, &y)| x < 32.0 && y < 32.0)
+                .count();
         assert!((800..1200).contains(&q1), "quadrant count {q1}");
     }
 
@@ -171,9 +171,8 @@ mod tests {
     fn thermal_spread_scales() {
         let cold = ParticleDistribution::Uniform.load(2000, 10.0, 10.0, 0.001, 9);
         let hot = ParticleDistribution::Uniform.load(2000, 10.0, 10.0, 0.1, 9);
-        let rms = |v: &[f64]| -> f64 {
-            (v.iter().map(|u| u * u).sum::<f64>() / v.len() as f64).sqrt()
-        };
+        let rms =
+            |v: &[f64]| -> f64 { (v.iter().map(|u| u * u).sum::<f64>() / v.len() as f64).sqrt() };
         assert!(rms(&hot.uy) > 50.0 * rms(&cold.uy));
     }
 

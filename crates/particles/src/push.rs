@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn electric_field_accelerates_linearly() {
         // dU/dt = qm * E exactly under Boris with B = 0
-        let fields = BorisStep { e: [1.0, 0.0, 0.0], b: [0.0; 3] };
+        let fields = BorisStep {
+            e: [1.0, 0.0, 0.0],
+            b: [0.0; 3],
+        };
         let u = boris_push([0.0; 3], &fields, -1.0, 0.01);
         assert!((u[0] + 0.01).abs() < 1e-15, "{u:?}");
         assert_eq!(u[1], 0.0);
@@ -88,20 +91,29 @@ mod tests {
     #[test]
     fn magnetic_field_preserves_speed() {
         // pure magnetic rotation is norm-preserving to machine precision
-        let fields = BorisStep { e: [0.0; 3], b: [0.0, 0.0, 2.0] };
+        let fields = BorisStep {
+            e: [0.0; 3],
+            b: [0.0, 0.0, 2.0],
+        };
         let mut u: [f64; 3] = [0.4, 0.0, 0.0];
         let norm0 = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
         for _ in 0..1000 {
             u = boris_push(u, &fields, -1.0, 0.05);
         }
         let norm1 = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
-        assert!((norm0 - norm1).abs() < 1e-12, "|u| drifted {norm0} -> {norm1}");
+        assert!(
+            (norm0 - norm1).abs() < 1e-12,
+            "|u| drifted {norm0} -> {norm1}"
+        );
     }
 
     #[test]
     fn magnetic_rotation_is_circular() {
         // in-plane momentum rotates; z stays zero for Bz-only field
-        let fields = BorisStep { e: [0.0; 3], b: [0.0, 0.0, 1.0] };
+        let fields = BorisStep {
+            e: [0.0; 3],
+            b: [0.0, 0.0, 1.0],
+        };
         let mut u = [0.1, 0.0, 0.0];
         let mut seen_negative_x = false;
         for _ in 0..200 {
@@ -123,7 +135,10 @@ mod tests {
     #[test]
     fn relativistic_speed_saturates_below_c() {
         // enormous kick; velocity u/gamma must stay < 1 (= c)
-        let fields = BorisStep { e: [1e6, 0.0, 0.0], b: [0.0; 3] };
+        let fields = BorisStep {
+            e: [1e6, 0.0, 0.0],
+            b: [0.0; 3],
+        };
         let u = boris_push([0.0; 3], &fields, -1.0, 1.0);
         let v = u[0].abs() / gamma_of(u);
         assert!(v < 1.0, "superluminal v = {v}");
@@ -133,7 +148,10 @@ mod tests {
     #[test]
     fn e_cross_b_drift_direction() {
         // E x B drift: E along y, B along z -> drift along x for any charge
-        let fields = BorisStep { e: [0.0, 0.1, 0.0], b: [0.0, 0.0, 1.0] };
+        let fields = BorisStep {
+            e: [0.0, 0.1, 0.0],
+            b: [0.0, 0.0, 1.0],
+        };
         let mut u = [0.0; 3];
         let mut x_displacement = 0.0;
         for _ in 0..2000 {

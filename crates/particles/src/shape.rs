@@ -57,12 +57,7 @@ impl Cic {
     pub fn corners(&self, nx: usize, ny: usize) -> [(usize, usize); 4] {
         let xp = (self.ix + 1) % nx;
         let yp = (self.iy + 1) % ny;
-        [
-            (self.ix, self.iy),
-            (xp, self.iy),
-            (self.ix, yp),
-            (xp, yp),
-        ]
+        [(self.ix, self.iy), (xp, self.iy), (self.ix, yp), (xp, yp)]
     }
 
     /// Interpolate a per-vertex quantity to the particle: dot product of

@@ -37,11 +37,7 @@ pub struct BalancePlan {
 impl BalancePlan {
     /// Total particles that change ranks under this plan.
     pub fn moved(&self) -> usize {
-        self.moves
-            .iter()
-            .flatten()
-            .map(|(_, r)| r.len())
-            .sum()
+        self.moves.iter().flatten().map(|(_, r)| r.len()).sum()
     }
 }
 
@@ -133,10 +129,10 @@ mod tests {
     #[test]
     fn plan_achieves_targets_and_preserves_order() {
         let ranks: Vec<Vec<u64>> = vec![
-            (0..12).collect(),   // overloaded
-            (12..13).collect(),  // nearly empty
+            (0..12).collect(),  // overloaded
+            (12..13).collect(), // nearly empty
             (13..20).collect(),
-            vec![],              // empty
+            vec![], // empty
         ];
         let counts: Vec<usize> = ranks.iter().map(Vec::len).collect();
         let plan = order_maintaining_balance(&counts);

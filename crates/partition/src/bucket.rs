@@ -55,7 +55,10 @@ impl BucketIncrementalSorter {
     /// Panics if `l == 0`.
     pub fn new(l: usize) -> Self {
         assert!(l > 0, "need at least one bucket");
-        Self { l, bounds: Vec::new() }
+        Self {
+            l,
+            bounds: Vec::new(),
+        }
     }
 
     /// Number of buckets.
@@ -128,10 +131,7 @@ fn count_runs(keys: &[u64], idxs: &[usize]) -> usize {
     if idxs.is_empty() {
         return 0;
     }
-    1 + idxs
-        .windows(2)
-        .filter(|w| keys[w[0]] > keys[w[1]])
-        .count()
+    1 + idxs.windows(2).filter(|w| keys[w[0]] > keys[w[1]]).count()
 }
 
 #[cfg(test)]

@@ -22,13 +22,7 @@ pub fn cell_of(x: f64, y: f64, dx: f64, dy: f64, nx: usize, ny: usize) -> (usize
 
 /// Curve index of the particle at `(x, y)`.
 #[inline]
-pub fn particle_key(
-    indexer: &dyn CellIndexer,
-    x: f64,
-    y: f64,
-    dx: f64,
-    dy: f64,
-) -> u64 {
+pub fn particle_key(indexer: &dyn CellIndexer, x: f64, y: f64, dx: f64, dy: f64) -> u64 {
     let (cx, cy) = cell_of(x, y, dx, dy, indexer.width(), indexer.height());
     indexer.index(cx, cy)
 }

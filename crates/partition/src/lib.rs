@@ -34,8 +34,10 @@ pub mod sample_sort;
 pub use balance::{balance_targets, order_maintaining_balance, BalancePlan};
 pub use block::sfc_block_layout;
 pub use bucket::{sorted_order, BucketIncrementalSorter, IncrementalClassification};
-pub use policy::{DynamicSarPolicy, PeriodicPolicy, StaticPolicy};
 pub use key::{assign_keys, cell_of, particle_key};
 pub use metrics::{alignment_report, AlignmentReport};
+pub use policy::{DynamicSarPolicy, PeriodicPolicy, StaticPolicy};
 pub use policy::{PolicyKind, RedistributionPolicy};
-pub use sample_sort::{classify_by_bounds, rank_bounds_from_sorted, regular_sample, select_splitters};
+pub use sample_sort::{
+    classify_by_bounds, rank_bounds_from_sorted, regular_sample, select_splitters,
+};

@@ -86,7 +86,12 @@ mod tests {
     use super::*;
 
     fn block() -> Rect {
-        Rect { x0: 0, y0: 0, w: 4, h: 4 }
+        Rect {
+            x0: 0,
+            y0: 0,
+            w: 4,
+            h: 4,
+        }
     }
 
     #[test]
@@ -97,7 +102,15 @@ mod tests {
         assert_eq!(r.covered_cells, 4);
         assert_eq!(r.ghost_cells, 0);
         assert_eq!(r.overlap_fraction, 1.0);
-        assert_eq!(r.bbox.unwrap(), Rect { x0: 0, y0: 0, w: 4, h: 4 });
+        assert_eq!(
+            r.bbox.unwrap(),
+            Rect {
+                x0: 0,
+                y0: 0,
+                w: 4,
+                h: 4
+            }
+        );
     }
 
     #[test]

@@ -176,7 +176,7 @@ mod tests {
     fn dynamic_waits_for_rise_to_amortize_cost() {
         let mut p = DynamicSarPolicy::new();
         p.notify_redistributed(0, 10.0); // redistribution costs 10s
-        // iteration time grows by 0.1s per iteration from t0 = 1.0
+                                         // iteration time grows by 0.1s per iteration from t0 = 1.0
         let mut fired_at = None;
         for i in 1..=200 {
             let t = 1.0 + 0.1 * (i - 1) as f64;

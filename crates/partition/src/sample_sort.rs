@@ -39,10 +39,7 @@ pub fn select_splitters(sample: &mut [u64], p: usize) -> Vec<u64> {
 /// concatenation).  The final rank's bound is `u64::MAX`.
 pub fn rank_bounds_from_sorted(last_keys: &[u64]) -> Vec<u64> {
     let p = last_keys.len();
-    let mut bounds: Vec<u64> = last_keys
-        .iter()
-        .map(|&k| k.saturating_add(1))
-        .collect();
+    let mut bounds: Vec<u64> = last_keys.iter().map(|&k| k.saturating_add(1)).collect();
     if p > 0 {
         bounds[p - 1] = u64::MAX;
     }

@@ -55,7 +55,10 @@ fn main() {
         }
         println!(
             "{:<28} {:>10} {:>10.4} {:>10.4}",
-            "", "TOTAL", bounds.total_s(), (b.scatter_s + b.field_solve_s + b.gather_s + b.push_s) / iters
+            "",
+            "TOTAL",
+            bounds.total_s(),
+            (b.scatter_s + b.field_solve_s + b.gather_s + b.push_s) / iters
         );
         println!();
     }

@@ -50,9 +50,7 @@ fn main() {
     };
     let cells: Vec<(u64, u64, u64)> = (0..n)
         .map(|_| {
-            let clamp = |v: f64| -> u64 {
-                (v.clamp(0.0, side as f64 - 1.0)) as u64
-            };
+            let clamp = |v: f64| -> u64 { (v.clamp(0.0, side as f64 - 1.0)) as u64 };
             (
                 clamp(side as f64 / 2.0 + gauss() * side as f64 / 8.0),
                 clamp(side as f64 / 2.0 + gauss() * side as f64 / 8.0),
@@ -97,10 +95,7 @@ fn main() {
     println!("irregular 3-D cloud ({n} particles), equal split over {parts} ranks:");
     println!("  hilbert3d mean subdomain bbox surface: {hs:.1}");
     println!("  snake3d   mean subdomain bbox surface: {ss:.1}");
-    println!(
-        "  -> hilbert subdomains are {:.1}x more compact",
-        ss / hs
-    );
+    println!("  -> hilbert subdomains are {:.1}x more compact", ss / hs);
 
     // sanity print of the curve itself
     let (x, y, z) = snake3d_coords(side, 17);

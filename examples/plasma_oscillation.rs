@@ -61,7 +61,12 @@ fn main() {
         let e = sim.energy();
         kinetic.push(e.kinetic);
         if s % (steps / 16).max(1) == 0 {
-            println!("{:>8.2} {:>14.6e} {:>14.6e}", (s + 1) as f64 * dt, e.kinetic, e.field);
+            println!(
+                "{:>8.2} {:>14.6e} {:>14.6e}",
+                (s + 1) as f64 * dt,
+                e.kinetic,
+                e.field
+            );
         }
     }
 

@@ -52,7 +52,10 @@ fn main() {
         }
     }
 
-    let total: f64 = report_rows.iter().map(|r| r.time_s + r.redistribute_s).sum();
+    let total: f64 = report_rows
+        .iter()
+        .map(|r| r.time_s + r.redistribute_s)
+        .sum();
     let redists = report_rows.iter().filter(|r| r.redistributed).count();
     let energy = sim.energy();
     println!("\nmodeled total: {total:.2} s on the CM-5 cost model");

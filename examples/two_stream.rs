@@ -34,7 +34,11 @@ fn main() {
 
     let mut sim = ParallelPicSim::new(cfg);
     let e0 = sim.energy();
-    println!("initial: kinetic {:.4}, field {:.3e}", e0.kinetic, e0.field.max(1e-300));
+    println!(
+        "initial: kinetic {:.4}, field {:.3e}",
+        e0.kinetic,
+        e0.field.max(1e-300)
+    );
 
     println!("\n{:>6} {:>14} {:>14}", "iter", "field energy", "kinetic");
     let mut peak_field: f64 = 0.0;
@@ -44,7 +48,12 @@ fn main() {
         }
         let e = sim.energy();
         peak_field = peak_field.max(e.field);
-        println!("{:>6} {:>14.6e} {:>14.4}", (block + 1) * 10, e.field, e.kinetic);
+        println!(
+            "{:>6} {:>14.6e} {:>14.4}",
+            (block + 1) * 10,
+            e.field,
+            e.kinetic
+        );
     }
 
     let e1 = sim.energy();

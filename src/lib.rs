@@ -23,9 +23,7 @@ pub use pic_partition as partition;
 
 /// Convenient glob-import of the most used types across the stack.
 pub mod prelude {
-    pub use pic_core::{
-        ParallelPicSim, PhaseBreakdown, SimConfig, SimReport, SequentialPicSim,
-    };
+    pub use pic_core::{ParallelPicSim, PhaseBreakdown, SequentialPicSim, SimConfig, SimReport};
     pub use pic_field::{BlockLayout, Grid2};
     pub use pic_index::{CellIndexer, HilbertIndexer, IndexScheme, SnakeIndexer};
     pub use pic_machine::{MachineConfig, Topology};

@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `cargo bench` targets building and running
+//! without network access.  The statistics are deliberately simple: each
+//! benchmark is timed for `sample_size` samples after a short warm-up and
+//! the median sample is reported.  No plots, no saved baselines — just
+//! enough to compare kernels on one machine in one run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per sample; iteration counts auto-scale to this.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// The benchmark harness root.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.default_sample_size, f);
+        self
+    }
+
+    /// Compatibility hook (CLI args are ignored offline).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Compatibility hook.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // calibration: find an iteration count filling the target sample time
+    loop {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || b.iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            64
+        } else {
+            (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        b.iters = (b.iters * grow.clamp(2, 64)).min(1 << 30);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            b.elapsed.as_secs_f64() / b.iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "  {name:<44} {:>12}  ({} iters/sample)",
+        fmt_s(median),
+        b.iters
+    );
+}
+
+fn fmt_s(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times for a stable sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Provides the slice of the `rand` API this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64` and `Rng::random_range` — backed by
+//! xoshiro256++ seeded through SplitMix64.  The stream differs from the
+//! real `rand` crate's `StdRng` (which is ChaCha12); nothing in the
+//! workspace depends on a particular stream, only on determinism: the same
+//! seed must yield the same particles on every platform and executor.
+
+/// Types that can seed themselves from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator deterministically from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sample a value uniformly from a half-open range.  Implemented for the
+/// scalar types the workspace draws.
+pub trait SampleRange<T> {
+    /// Draw one value in the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level drawing methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range, e.g. `rng.random_range(0.0..lx)`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform draw over a type's full/unit domain: `f64` in `[0, 1)`,
+    /// integers over their whole range.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types drawable from 64 uniform bits (the shim's `Standard` distribution).
+pub trait Standard {
+    /// Map 64 uniform bits onto the type's standard distribution.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 mantissa bits -> [0, 1)
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+macro_rules! impl_float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                let v = self.start + (self.end - self.start) * unit;
+                // guard the half-open contract against rounding
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+    };
+}
+
+impl_float_range!(f64);
+impl_float_range!(f32);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample(self, rng: &mut dyn RngCore) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    // Lemire-style unbiased rejection sampling
+                    let mut x = rng.next_u64();
+                    let mut m = (x as u128) * (span as u128);
+                    let mut lo = m as u64;
+                    if lo < span {
+                        let t = span.wrapping_neg() % span;
+                        while lo < t {
+                            x = rng.next_u64();
+                            m = (x as u128) * (span as u128);
+                            lo = m as u64;
+                        }
+                    }
+                    self.start + ((m >> 64) as u64) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample(self, rng: &mut dyn RngCore) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    if s == e {
+                        return s;
+                    }
+                    // delegate to the half-open form when possible
+                    if e < <$t>::MAX {
+                        (s..e + 1).sample(rng)
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+/// Generators shipped with the shim.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (offline stand-in for rand's
+    /// `StdRng`; different stream, same determinism guarantees).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000).to_le_bytes(),
+                b.random_range(0u64..1_000_000).to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(2.0f64..3.5);
+            assert!((2.0..3.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

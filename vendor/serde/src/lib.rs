@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds with no network access, so the real crate is
+//! unavailable; this shim keeps the standard `Serialize`/`Deserialize`
+//! derive surface compiling.  The traits are deliberately empty markers —
+//! nothing in the simulation serializes at runtime (reports are written as
+//! hand-formatted CSV/console output) — but the derives emit real impls so
+//! `T: Serialize` bounds remain satisfiable if a later PR adds an encoder.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized (no-op offline stand-in).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (no-op offline stand-in).
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl Serialize for &str {}

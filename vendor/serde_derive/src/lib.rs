@@ -1,0 +1,106 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real proc-macro
+//! crate (and its `syn`/`quote` dependency tree) is unavailable.  The
+//! simulation never serializes anything at runtime — the derives exist so
+//! config and report types keep the standard serde surface.  This macro
+//! therefore parses just enough of the item to emit a real (empty-bodied)
+//! trait impl, keeping `T: Serialize` bounds satisfiable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract `(name, generic parameter idents)` from a struct/enum definition.
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.into_iter().peekable();
+    // skip attributes and visibility until the `struct`/`enum` keyword
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // consume the following [...] group
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    iter.next();
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    // collect top-level generic parameter names from `<...>`, if present
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            for tt in iter.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_param = false,
+                    // lifetimes (`'a`) are not type parameters: the `'`
+                    // punct arrives first, so drop the marker before the
+                    // ident is seen
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(id) if expect_param && depth == 1 => {
+                        let s = id.to_string();
+                        if s != "const" && s != "lifetime" {
+                            generics.push(s);
+                        }
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn impl_for(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let code = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        let bounds = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> where {bounds} {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for("Serialize", input)
+}
+
+/// No-op `Deserialize` derive: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for("Deserialize", input)
+}
+
+/// Skip the bracketed group following a `#` (attribute), if any — helper
+/// used while scanning for the item keyword.
+#[allow(dead_code)]
+fn skip_group(tt: &TokenTree) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+}
