@@ -66,6 +66,12 @@ pub struct SimConfig {
     pub particle_charge: f64,
     /// RNG seed for the particle loader.
     pub seed: u64,
+    /// Run the per-iteration invariant guards (global particle/charge
+    /// conservation, structural key/particle sync, field finiteness).
+    /// Violations surface as
+    /// `SpmdError` with an `InvariantViolation` cause from
+    /// [`GenericPicSim::try_step`](crate::GenericPicSim::try_step).
+    pub check_invariants: bool,
 }
 
 impl SimConfig {
@@ -90,6 +96,7 @@ impl SimConfig {
             thermal_u: 0.5,
             particle_charge: 0.01,
             seed: 1996,
+            check_invariants: true,
         }
     }
 

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod config;
 pub mod costs;
 pub mod diagnostics;
@@ -44,16 +45,19 @@ pub mod electrostatic;
 pub mod ghost;
 pub mod messages;
 pub mod phases;
+pub mod recovery;
 pub mod replicated;
 pub mod sequential;
 pub mod sim;
 pub mod state;
 
 pub use analysis::{ideal_bounds, PhaseBounds};
+pub use checkpoint::{Checkpoint, CheckpointError, RankSnapshot};
 pub use config::{DedupKind, MovementMethod, SimConfig};
 pub use diagnostics::EnergyReport;
 pub use electrostatic::ElectrostaticPicSim;
 pub use ghost::{DirectTableAccumulator, GhostAccumulator, HashTableAccumulator};
+pub use recovery::{run_with_recovery, RecoveryOutcome};
 pub use replicated::ReplicatedGridPicSim;
 pub use sequential::SequentialPicSim;
 pub use sim::{

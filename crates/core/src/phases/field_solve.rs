@@ -11,7 +11,7 @@
 //!    phase's current densities as source terms).
 
 use pic_field::Grid2;
-use pic_machine::{Outbox, PhaseKind, SpmdEngine};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 
 use crate::costs;
 use crate::messages::HaloData;
@@ -82,7 +82,7 @@ enum Which {
 }
 
 /// Run the field solve: exchange E → update B, exchange B → update E.
-pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) -> Result<(), SpmdError> {
     let halo = env.halo;
     let solver = *env.solver;
 
@@ -106,7 +106,9 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
                     .sends(from)
                     .iter()
                     .find(|m| m.to == r)
-                    .expect("halo message without plan entry")
+                    .unwrap_or_else(|| {
+                        panic!("halo message from rank {from} to rank {r} without plan entry")
+                    })
                     .cells;
                 ctx.charge_ops(cells.len() as f64 * costs::HALO_CELL);
                 let f = &mut st.fields;
@@ -116,7 +118,7 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
             solver.update_b_padded(&mut st.fields);
             ctx.charge_ops(st.rect.area() as f64 * costs::FIELD_POINT_B);
         },
-    );
+    )?;
 
     // superstep 2: B ghosts out, E update on delivery
     machine.superstep(
@@ -138,7 +140,9 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
                     .sends(from)
                     .iter()
                     .find(|m| m.to == r)
-                    .expect("halo message without plan entry")
+                    .unwrap_or_else(|| {
+                        panic!("halo message from rank {from} to rank {r} without plan entry")
+                    })
                     .cells;
                 ctx.charge_ops(cells.len() as f64 * costs::HALO_CELL);
                 let f = &mut st.fields;
@@ -148,5 +152,5 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
             solver.update_e_padded(&mut st.fields, &st.currents);
             ctx.charge_ops(st.rect.area() as f64 * costs::FIELD_POINT_E);
         },
-    );
+    )
 }

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use pic_machine::{Outbox, PhaseKind, SpmdEngine};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 use pic_particles::Cic;
 
 use crate::costs;
@@ -20,7 +20,7 @@ use crate::phases::PhaseEnv;
 use crate::state::RankState;
 
 /// Run one gather superstep.
-pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) -> Result<(), SpmdError> {
     let (nx, ny) = (env.cfg.nx, env.cfg.ny);
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
     machine.superstep(
@@ -66,9 +66,12 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
                         st.fields.at(lx, ly)
                     } else {
                         let key = cy as u32 * nxu + cx as u32;
-                        *cache
-                            .get(&key)
-                            .expect("gather: ghost vertex missing from scatter round")
+                        *cache.get(&key).unwrap_or_else(|| {
+                            panic!(
+                                "gather: ghost vertex {key} (cell {cx},{cy}) missing \
+                                 from scatter round"
+                            )
+                        })
                     };
                     for c in 0..3 {
                         e[c] += w * vals[c];
@@ -79,5 +82,5 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
                 st.b_at.push(b);
             }
         },
-    );
+    )
 }

@@ -7,7 +7,7 @@
 //! cell immediately after the move, which is implemented as an extra
 //! superstep.
 
-use pic_machine::{Outbox, PhaseKind, SpmdEngine};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 use pic_particles::push::{boris_push, gamma_of, BorisStep};
 use pic_particles::wrap_periodic;
 
@@ -18,7 +18,7 @@ use crate::phases::PhaseEnv;
 use crate::state::RankState;
 
 /// Run the push phase (and Eulerian migration when configured).
-pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) -> Result<(), SpmdError> {
     let dt = env.cfg.dt;
     let (lx, ly) = (env.cfg.lx(), env.cfg.ly());
     machine.local_step(PhaseKind::Push, move |_r, st, ctx| {
@@ -40,17 +40,21 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
             st.particles.y[i] = wrap_periodic(st.particles.y[i] + u2[1] / gamma * dt, ly);
         }
         ctx.charge_ops(n as f64 * costs::PUSH_PARTICLE);
-    });
+    })?;
 
     if env.cfg.movement == MovementMethod::Eulerian {
-        migrate_eulerian(machine, env);
+        migrate_eulerian(machine, env)?;
     }
+    Ok(())
 }
 
 /// Eulerian migration: every particle moves to the rank that owns its
 /// cell.  No sorting, no alignment — the communication each step is the
 /// price Table 1 attributes to keeping particle storage grid-partitioned.
-fn migrate_eulerian<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
+fn migrate_eulerian<E: SpmdEngine<RankState>>(
+    machine: &mut E,
+    env: &PhaseEnv,
+) -> Result<(), SpmdError> {
     let (nx, ny) = (env.cfg.nx, env.cfg.ny);
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
     let layout = env.layout;
@@ -86,5 +90,5 @@ fn migrate_eulerian<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
                 st.append_batch(&batch);
             }
         },
-    );
+    )
 }

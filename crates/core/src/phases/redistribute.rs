@@ -17,7 +17,7 @@
 //! `T_redistribution` the dynamic policy trades against rising iteration
 //! times.
 
-use pic_machine::{Outbox, PhaseKind, SpmdEngine};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 use pic_partition::{
     assign_keys, classify_by_bounds, order_maintaining_balance, rank_bounds_from_sorted,
     regular_sample, select_splitters,
@@ -33,7 +33,11 @@ const SAMPLES_PER_RANK: usize = 32;
 
 /// Run a (re)distribution; `initial` selects the sample-sort bootstrap.
 /// Returns the modeled elapsed seconds it cost.
-pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: bool) -> f64 {
+pub fn run<E: SpmdEngine<RankState>>(
+    machine: &mut E,
+    env: &PhaseEnv,
+    initial: bool,
+) -> Result<f64, SpmdError> {
     let t_start = machine.elapsed_s();
     let p = machine.num_ranks();
     let indexer = env.indexer;
@@ -43,14 +47,14 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: b
     machine.local_step(PhaseKind::Redistribute, move |_r, st, ctx| {
         st.keys = assign_keys(&st.particles, indexer, dx, dy);
         ctx.charge_ops(st.len() as f64 * costs::INDEX_PARTICLE);
-    });
+    })?;
 
     if initial {
         // bootstrap: local sort, then sample-sort splitters
         machine.local_step(PhaseKind::Redistribute, |_r, st, ctx| {
             let cmp = st.sort_local();
             ctx.charge_ops(cmp * costs::SORT_COMPARISON);
-        });
+        })?;
         machine.allgatherv(
             PhaseKind::Redistribute,
             8,
@@ -61,7 +65,7 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: b
                 bounds.push(u64::MAX);
                 st.bounds = bounds;
             },
-        );
+        )?;
     }
 
     // 2. classify against global bounds, exchange, incremental sort
@@ -84,7 +88,7 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: b
             let cmp = st.sort_local();
             ctx.charge_ops(cmp * costs::SORT_COMPARISON);
         },
-    );
+    )?;
 
     // 3. global concatenation of counts
     machine.allgather(
@@ -94,7 +98,7 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: b
         |_r, st, all: &[u64]| {
             st.all_counts = all.iter().map(|&c| c as usize).collect();
         },
-    );
+    )?;
 
     // 4. order-maintaining load balance
     machine.superstep(
@@ -149,7 +153,7 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: b
             st.keys = merged_keys;
             debug_assert!(st.keys.windows(2).all(|w| w[0] <= w[1]));
         },
-    );
+    )?;
 
     // 5. refresh global bounds and local bucket boundaries
     machine.allgather(
@@ -159,10 +163,10 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv, initial: b
         |_r, st, all: &[u64]| {
             st.bounds = rank_bounds_from_sorted(all);
         },
-    );
+    )?;
     machine.local_step(PhaseKind::Redistribute, |_r, st, _ctx| {
         st.rebuild_sorter();
-    });
+    })?;
 
-    machine.elapsed_s() - t_start
+    Ok(machine.elapsed_s() - t_start)
 }

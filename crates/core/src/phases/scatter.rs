@@ -9,7 +9,7 @@
 //! sent which vertices (`ghost_serving`) — the gather phase answers along
 //! exactly those lists.
 
-use pic_machine::{Outbox, PhaseKind, SpmdEngine};
+use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 use pic_particles::push::gamma_of;
 use pic_particles::Cic;
 
@@ -19,7 +19,7 @@ use crate::phases::PhaseEnv;
 use crate::state::RankState;
 
 /// Run one scatter superstep.
-pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
+pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) -> Result<(), SpmdError> {
     let (nx, ny) = (env.cfg.nx, env.cfg.ny);
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
     let layout = env.layout;
@@ -70,5 +70,5 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) {
                 }
             }
         },
-    );
+    )
 }

@@ -1,0 +1,102 @@
+//! Checkpoint-based failure recovery for the simulation driver.
+//!
+//! [`run_with_recovery`] wraps the iterate/checkpoint/restart loop: run
+//! the simulation, snapshot its state every `checkpoint_every`
+//! iterations, and when an iteration fails (a rank killed by fault
+//! injection, a timeout, a tripped invariant) rebuild the simulation
+//! from the last snapshot and re-execute forward.  Because checkpoints
+//! are taken at iteration boundaries and capture the full persistent
+//! state, and because injected kills are one-shot (a consumed
+//! [`FaultSpec`](pic_machine::FaultSpec) does not re-fire on the
+//! re-executed iteration), the recovered run's final state is
+//! bit-identical to an uninterrupted run under any
+//! measurement-independent redistribution policy.
+//!
+//! Checkpoints are held as *encoded bytes* and decoded on restart, so
+//! recovery exercises the full serialize → checksum → deserialize path
+//! rather than cloning live state.
+
+use std::sync::Arc;
+
+use pic_machine::{FaultPlan, SpmdEngine, SpmdError};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::SimConfig;
+use crate::sim::{GenericPicSim, IterationRecord};
+use crate::state::RankState;
+
+/// What [`run_with_recovery`] produced.
+pub struct RecoveryOutcome<E: SpmdEngine<RankState>> {
+    /// The simulation after the final iteration.
+    pub sim: GenericPicSim<E>,
+    /// One record per iteration `1..=iterations`.  Iterations that were
+    /// re-executed after a restart appear once, with the measurements of
+    /// the successful execution.
+    pub records: Vec<IterationRecord>,
+    /// How many times the run restarted from a checkpoint.
+    pub restarts: usize,
+    /// The error behind each restart, in order.
+    pub failures: Vec<SpmdError>,
+}
+
+/// Run `iterations` steps with checkpoint/restart recovery.
+///
+/// A checkpoint is taken after the initial distribution and then after
+/// every `checkpoint_every`-th completed iteration (`0` disables
+/// periodic snapshots, leaving only the post-setup one).  On an
+/// iteration failure the driver decodes the latest snapshot, rebuilds
+/// the simulation, re-installs `plan`, and continues; after
+/// `max_restarts` restarts the next failure is returned to the caller.
+///
+/// # Errors
+/// Returns the error of the failure that exhausted `max_restarts`, or
+/// of a failed initial distribution (nothing to restart from).
+pub fn run_with_recovery<E: SpmdEngine<RankState>>(
+    cfg: SimConfig,
+    iterations: usize,
+    checkpoint_every: usize,
+    plan: Option<Arc<FaultPlan>>,
+    max_restarts: usize,
+) -> Result<RecoveryOutcome<E>, SpmdError> {
+    let mut sim = GenericPicSim::<E>::try_new_with(cfg.clone(), plan.clone())?;
+    let mut latest = sim.checkpoint().encode();
+    let mut records: Vec<IterationRecord> = Vec::with_capacity(iterations);
+    let mut restarts = 0;
+    let mut failures = Vec::new();
+
+    while sim.iterations_done() < iterations {
+        match sim.try_step() {
+            Ok(rec) => {
+                records.push(rec);
+                let done = sim.iterations_done();
+                if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) {
+                    latest = sim.checkpoint().encode();
+                }
+            }
+            Err(err) => {
+                if restarts >= max_restarts {
+                    return Err(err);
+                }
+                restarts += 1;
+                failures.push(err);
+                let ck =
+                    Checkpoint::decode(&latest).expect("in-memory checkpoint failed its checksum");
+                // drop the records of iterations past the snapshot;
+                // they will be re-executed
+                records.truncate(ck.iter as usize);
+                let mut fresh = GenericPicSim::<E>::resume_from(cfg.clone(), &ck);
+                if let Some(p) = &plan {
+                    fresh.set_fault_plan(Some(Arc::clone(p)));
+                }
+                sim = fresh;
+            }
+        }
+    }
+
+    Ok(RecoveryOutcome {
+        sim,
+        records,
+        restarts,
+        failures,
+    })
+}

@@ -1,11 +1,17 @@
 //! The parallel PIC simulation driver.
 
+use std::sync::Arc;
+
 use pic_field::{HaloPlan, MaxwellSolver};
 use pic_index::CellIndexer;
-use pic_machine::{Machine, PhaseKind, SpmdEngine, StatsLog, SuperstepStats, ThreadedMachine};
+use pic_machine::{
+    FailureCause, FaultPlan, Machine, PhaseKind, SpmdEngine, SpmdError, StatsLog, SuperstepStats,
+    ThreadedMachine,
+};
 use pic_partition::{sfc_block_layout, RedistributionPolicy};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{Checkpoint, RankSnapshot};
 use crate::config::{MovementMethod, SimConfig};
 use crate::diagnostics::EnergyReport;
 use crate::phases::{self, PhaseEnv};
@@ -143,49 +149,54 @@ pub struct GenericPicSim<E: SpmdEngine<RankState>> {
 }
 
 impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
-    /// Build the simulation: decompose the mesh, load and distribute the
-    /// particles, and seed the redistribution policy with the initial
-    /// distribution's cost.
-    ///
-    /// # Panics
-    /// Panics on an invalid configuration.
-    pub fn new(cfg: SimConfig) -> Self {
+    /// Build every substrate (layout, halo plan, indexer, solver, policy,
+    /// executor) without running any SPMD operation.  When
+    /// `load_particles` is set, the global population is loaded and
+    /// handed to ranks in contiguous chunks; a resume overwrites the
+    /// rank states wholesale, so it skips the load.
+    fn construct(cfg: SimConfig, load_particles: bool) -> Self {
         cfg.validate();
         let p = cfg.machine.ranks;
         let layout = sfc_block_layout(cfg.nx, cfg.ny, p, cfg.scheme);
         let halo = HaloPlan::build(&layout);
         let indexer = cfg.scheme.build(cfg.nx, cfg.ny);
         let solver = MaxwellSolver::new(cfg.dt, cfg.dx, cfg.dy);
-        let mut policy = cfg.policy.build();
+        let policy = cfg.policy.build();
 
         // load the global particle population deterministically, then
         // hand contiguous chunks to ranks (as if read from a shared file)
-        let global =
-            cfg.distribution
-                .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
-        let states: Vec<RankState> = (0..p)
-            .map(|r| {
-                let mut st = RankState::new(r, layout.local_rect(r), &cfg);
-                let lo = r * cfg.particles / p;
-                let hi = (r + 1) * cfg.particles / p;
-                st.particles.reserve(hi - lo);
-                for i in lo..hi {
-                    let c = global.get(i);
-                    st.particles.push(c[0], c[1], c[2], c[3], c[4]);
-                }
-                st
-            })
-            .collect();
+        let states: Vec<RankState> = if load_particles {
+            let global =
+                cfg.distribution
+                    .load(cfg.particles, cfg.lx(), cfg.ly(), cfg.thermal_u, cfg.seed);
+            (0..p)
+                .map(|r| {
+                    let mut st = RankState::new(r, layout.local_rect(r), &cfg);
+                    let lo = r * cfg.particles / p;
+                    let hi = (r + 1) * cfg.particles / p;
+                    st.particles.reserve(hi - lo);
+                    for i in lo..hi {
+                        let c = global.get(i);
+                        st.particles.push(c[0], c[1], c[2], c[3], c[4]);
+                    }
+                    st
+                })
+                .collect()
+        } else {
+            (0..p)
+                .map(|r| RankState::new(r, layout.local_rect(r), &cfg))
+                .collect()
+        };
 
         let machine = E::build(cfg.machine, cfg.exec_mode(), states);
-        let mut sim = Self {
+        Self {
             cfg,
             machine,
             layout,
             halo,
             indexer,
             solver,
-            policy: pic_partition::PolicyKind::Static.build(), // placeholder
+            policy,
             iter: 0,
             setup_s: 0.0,
             redistributions: 0,
@@ -195,8 +206,36 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             breakdown_consumed: PhaseBreakdown::default(),
             redistributions_consumed: 0,
             redistribute_s_consumed: 0.0,
-        };
+        }
+    }
 
+    /// Build the simulation: decompose the mesh, load and distribute the
+    /// particles, and seed the redistribution policy with the initial
+    /// distribution's cost.
+    ///
+    /// # Errors
+    /// Returns the [`SpmdError`] when the initial distribution fails
+    /// (a fault plan can target it as epoch 0).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn try_new(cfg: SimConfig) -> Result<Self, SpmdError> {
+        Self::try_new_with(cfg, None)
+    }
+
+    /// [`GenericPicSim::try_new`] with a fault plan installed *before*
+    /// the initial distribution, so plan entries against epoch 0 can
+    /// target setup itself.
+    ///
+    /// # Errors
+    /// Returns the [`SpmdError`] when the initial distribution fails.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn try_new_with(cfg: SimConfig, plan: Option<Arc<FaultPlan>>) -> Result<Self, SpmdError> {
+        let mut sim = Self::construct(cfg, true);
+        sim.machine.set_fault_plan(plan);
+        sim.machine.set_fault_epoch(0);
         // initial distribution (also under Eulerian: a one-time spatial
         // assignment so particles start on their owning ranks)
         let env = PhaseEnv {
@@ -206,18 +245,107 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             indexer: sim.indexer.as_ref(),
             solver: &sim.solver,
         };
-        let cost = phases::redistribute::run(&mut sim.machine, &env, true);
+        let cost = phases::redistribute::run(&mut sim.machine, &env, true)?;
         sim.setup_s = cost;
-        policy.notify_redistributed(0, cost);
-        sim.policy = policy;
+        sim.policy.notify_redistributed(0, cost);
         sim.breakdown.absorb(&sim.machine.stats_mut().drain());
+        Ok(sim)
+    }
+
+    /// [`GenericPicSim::try_new`], panicking on failure (the historical
+    /// API; fault-free programs cannot fail here).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a failed initial
+    /// distribution.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self::try_new(cfg).expect("initial distribution failed")
+    }
+
+    /// Rebuild a simulation from a [`Checkpoint`] taken by
+    /// [`GenericPicSim::checkpoint`] under the same configuration.  The
+    /// restored simulation continues bit-identically to the run the
+    /// snapshot was taken from (under any measurement-independent
+    /// redistribution policy).
+    ///
+    /// # Panics
+    /// Panics when the checkpoint does not match `cfg` (rank count,
+    /// particle total, or field block dimensions differ).
+    pub fn resume_from(cfg: SimConfig, ck: &Checkpoint) -> Self {
+        let mut sim = Self::construct(cfg, false);
+        assert_eq!(
+            ck.ranks.len(),
+            sim.machine.num_ranks(),
+            "checkpoint was taken with a different rank count"
+        );
+        assert_eq!(
+            ck.total_particles(),
+            sim.cfg.particles,
+            "checkpoint was taken with a different particle total"
+        );
+        for (st, snap) in sim.machine.ranks_mut().iter_mut().zip(&ck.ranks) {
+            snap.restore_into(st);
+        }
+        sim.iter = ck.iter as usize;
+        sim.setup_s = ck.setup_s;
+        sim.redistributions = ck.redistributions as usize;
+        sim.redistribute_total_s = ck.redistribute_total_s;
+        sim.breakdown = ck.breakdown;
+        sim.policy.restore_state(&ck.policy);
+        sim.machine.set_fault_epoch(ck.iter);
         sim
     }
 
+    /// Snapshot the persistent simulation state at the current iteration
+    /// boundary (see [`Checkpoint`] for what is and is not captured).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            iter: self.iter as u64,
+            setup_s: self.setup_s,
+            redistributions: self.redistributions as u64,
+            redistribute_total_s: self.redistribute_total_s,
+            breakdown: self.breakdown,
+            policy: self.policy.snapshot_state(),
+            ranks: self
+                .machine
+                .ranks()
+                .iter()
+                .map(RankSnapshot::capture)
+                .collect(),
+        }
+    }
+
+    /// Install (or clear) a fault-injection plan on the executor.  The
+    /// driver stamps every iteration's number into the executor as the
+    /// *fault epoch*, so plan entries written against iteration numbers
+    /// fire in the right place.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.machine.set_fault_plan(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.machine.fault_plan()
+    }
+
     /// Run one iteration (scatter → field solve → gather → push, then the
-    /// redistribution policy).
-    pub fn step(&mut self) -> IterationRecord {
+    /// redistribution policy), reporting failures as typed errors.
+    ///
+    /// # Errors
+    /// Returns the [`SpmdError`] when a phase fails (rank panic, injected
+    /// kill, timeout) or an invariant guard trips.  The simulation must
+    /// then be considered lost: resume from a checkpoint.
+    pub fn try_step(&mut self) -> Result<IterationRecord, SpmdError> {
         self.iter += 1;
+        self.machine.set_fault_epoch(self.iter as u64);
+        // conservation reference: what the iteration starts with (tests
+        // and experiment setups may legitimately hand-edit rank states
+        // between iterations, so the config's totals are not the baseline)
+        let (total_before, charge_before) = if self.cfg.check_invariants {
+            self.census()
+        } else {
+            (0, 0.0)
+        };
         {
             let env = PhaseEnv {
                 cfg: &self.cfg,
@@ -226,10 +354,13 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
                 indexer: self.indexer.as_ref(),
                 solver: &self.solver,
             };
-            phases::scatter::run(&mut self.machine, &env);
-            phases::field_solve::run(&mut self.machine, &env);
-            phases::gather::run(&mut self.machine, &env);
-            phases::push::run(&mut self.machine, &env);
+            phases::scatter::run(&mut self.machine, &env)?;
+            phases::field_solve::run(&mut self.machine, &env)?;
+            phases::gather::run(&mut self.machine, &env)?;
+            phases::push::run(&mut self.machine, &env)?;
+        }
+        if self.cfg.check_invariants {
+            self.check_invariants(total_before, charge_before)?;
         }
         let records = self.machine.stats_mut().drain();
         self.breakdown.absorb(&records);
@@ -254,7 +385,7 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
                 indexer: self.indexer.as_ref(),
                 solver: &self.solver,
             };
-            redistribute_s = phases::redistribute::run(&mut self.machine, &env, false);
+            redistribute_s = phases::redistribute::run(&mut self.machine, &env, false)?;
             self.policy.notify_redistributed(self.iter, redistribute_s);
             self.redistributions += 1;
             self.redistribute_total_s += redistribute_s;
@@ -263,7 +394,7 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         }
 
         let counts: Vec<usize> = self.machine.ranks().iter().map(RankState::len).collect();
-        IterationRecord {
+        Ok(IterationRecord {
             iter: self.iter,
             time_s,
             compute_s,
@@ -276,20 +407,122 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             redistribute_s,
             max_particles: counts.iter().copied().max().unwrap_or(0),
             min_particles: counts.iter().copied().min().unwrap_or(0),
+        })
+    }
+
+    /// [`GenericPicSim::try_step`], panicking on failure (the historical
+    /// API; fault-free programs cannot fail here).
+    ///
+    /// # Panics
+    /// Panics when the iteration fails.
+    pub fn step(&mut self) -> IterationRecord {
+        self.try_step().expect("iteration failed")
+    }
+
+    /// Global particle count and total charge across all ranks.
+    fn census(&self) -> (usize, f64) {
+        let mut total = 0usize;
+        let mut charge = 0.0f64;
+        for st in self.machine.ranks() {
+            total += st.len();
+            charge += st.particles.charge * st.len() as f64;
         }
+        (total, charge)
+    }
+
+    /// Physics/structure invariants checked after the four phases:
+    /// global particle conservation (exact), key/particle array sync,
+    /// total charge conservation, and field/current finiteness.
+    fn check_invariants(
+        &mut self,
+        total_before: usize,
+        charge_before: f64,
+    ) -> Result<(), SpmdError> {
+        let mut total = 0usize;
+        let mut total_charge = 0.0f64;
+        for st in self.machine.ranks() {
+            if st.keys.len() != st.len() {
+                return Err(self.invariant_violation(
+                    Some(st.rank),
+                    format!(
+                        "keys ({}) and particles ({}) desynchronized",
+                        st.keys.len(),
+                        st.len()
+                    ),
+                ));
+            }
+            total += st.len();
+            total_charge += st.particles.charge * st.len() as f64;
+            let fields_finite = [
+                &st.fields.ex,
+                &st.fields.ey,
+                &st.fields.ez,
+                &st.fields.bx,
+                &st.fields.by,
+                &st.fields.bz,
+            ]
+            .iter()
+            .all(|g| g.as_slice().iter().all(|v| v.is_finite()));
+            if !fields_finite {
+                return Err(self.invariant_violation(
+                    Some(st.rank),
+                    "non-finite field value on the local block".to_string(),
+                ));
+            }
+            let currents_finite = [&st.currents.jx, &st.currents.jy, &st.currents.jz]
+                .iter()
+                .all(|g| g.as_slice().iter().all(|v| v.is_finite()));
+            if !currents_finite {
+                return Err(self.invariant_violation(
+                    Some(st.rank),
+                    "non-finite deposited current".to_string(),
+                ));
+            }
+        }
+        if total != total_before {
+            return Err(self.invariant_violation(
+                None,
+                format!(
+                    "particle count changed across the iteration: {total} held, {total_before} at entry"
+                ),
+            ));
+        }
+        let tol = 1e-12 * charge_before.abs().max(1e-300);
+        if (total_charge - charge_before).abs() > tol {
+            return Err(self.invariant_violation(
+                None,
+                format!("total charge drifted: {total_charge} vs {charge_before}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn invariant_violation(&self, rank: Option<usize>, msg: String) -> SpmdError {
+        let mut err = SpmdError::new(FailureCause::InvariantViolation(msg));
+        err.rank = rank;
+        err.epoch = Some(self.iter as u64);
+        err
     }
 
     /// Run `iterations` steps and summarize **this call**: totals,
     /// breakdown and redistribution counts cover only the iterations run
     /// here (plus, on the first call, the initial distribution), so
     /// repeated `run()` calls each return a self-consistent report.
-    pub fn run(&mut self, iterations: usize) -> SimReport {
+    ///
+    /// # Errors
+    /// Returns the first failing iteration's [`SpmdError`]; iterations
+    /// completed before it are lost from the report (resume from a
+    /// checkpoint to recover them).
+    pub fn try_run(&mut self, iterations: usize) -> Result<SimReport, SpmdError> {
         let elapsed_before = self.consumed_s;
         let breakdown_before = self.breakdown_consumed;
         let redists_before = self.redistributions_consumed;
         let redist_s_before = self.redistribute_s_consumed;
 
-        let records: Vec<IterationRecord> = (0..iterations).map(|_| self.step()).collect();
+        let mut records = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            records.push(self.try_step()?);
+        }
 
         let compute_s: f64 = records.iter().map(|r| r.compute_s).sum();
         let end = self.machine.elapsed_s();
@@ -298,7 +531,7 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         self.breakdown_consumed = self.breakdown;
         self.redistributions_consumed = self.redistributions;
         self.redistribute_s_consumed = self.redistribute_total_s;
-        SimReport {
+        Ok(SimReport {
             total_s,
             compute_s,
             overhead_s: total_s - compute_s,
@@ -307,12 +540,24 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             setup_s: self.setup_s,
             breakdown: self.breakdown.since(&breakdown_before),
             iterations: records,
-        }
+        })
+    }
+
+    /// [`GenericPicSim::try_run`], panicking on failure (the historical
+    /// API; fault-free programs cannot fail here).
+    ///
+    /// # Panics
+    /// Panics when an iteration fails.
+    pub fn run(&mut self, iterations: usize) -> SimReport {
+        self.try_run(iterations).expect("run failed")
     }
 
     /// Force a redistribution now, regardless of policy.  Returns its
     /// modeled cost.
-    pub fn redistribute_now(&mut self) -> f64 {
+    ///
+    /// # Errors
+    /// Returns the [`SpmdError`] when the redistribution fails.
+    pub fn try_redistribute_now(&mut self) -> Result<f64, SpmdError> {
         let env = PhaseEnv {
             cfg: &self.cfg,
             layout: &self.layout,
@@ -320,12 +565,20 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             indexer: self.indexer.as_ref(),
             solver: &self.solver,
         };
-        let cost = phases::redistribute::run(&mut self.machine, &env, false);
+        let cost = phases::redistribute::run(&mut self.machine, &env, false)?;
         self.policy.notify_redistributed(self.iter, cost);
         self.redistributions += 1;
         self.redistribute_total_s += cost;
         self.breakdown.absorb(&self.machine.stats_mut().drain());
-        cost
+        Ok(cost)
+    }
+
+    /// [`GenericPicSim::try_redistribute_now`], panicking on failure.
+    ///
+    /// # Panics
+    /// Panics when the redistribution fails.
+    pub fn redistribute_now(&mut self) -> f64 {
+        self.try_redistribute_now().expect("redistribution failed")
     }
 
     /// The run configuration.

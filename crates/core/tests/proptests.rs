@@ -135,3 +135,51 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Checkpoint → encode → decode → resume reproduces the live rank
+    /// state bit-for-bit at *any* iteration boundary of *any* valid
+    /// configuration, and the resumed trajectory stays identical when
+    /// both simulations continue (the modeled executor is fully
+    /// deterministic, so any divergence is a checkpoint bug).
+    #[test]
+    fn checkpoint_roundtrip_at_any_boundary(
+        cfg in arb_config(),
+        stop_at in 0usize..8,
+    ) {
+        let mut original = ParallelPicSim::new(cfg.clone());
+        for _ in 0..stop_at {
+            original.step();
+        }
+
+        let bytes = original.checkpoint().encode();
+        let ck = pic_core::Checkpoint::decode(&bytes).expect("decode");
+        prop_assert_eq!(ck.iter, stop_at as u64);
+        let mut resumed = ParallelPicSim::resume_from(cfg, &ck);
+
+        for _ in 0..3 {
+            original.step();
+            resumed.step();
+        }
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (m, t) in original
+            .machine()
+            .ranks()
+            .iter()
+            .zip(resumed.machine().ranks())
+        {
+            prop_assert_eq!(&m.keys, &t.keys);
+            prop_assert_eq!(&m.bounds, &t.bounds);
+            prop_assert_eq!(bits(&m.particles.x), bits(&t.particles.x));
+            prop_assert_eq!(bits(&m.particles.y), bits(&t.particles.y));
+            prop_assert_eq!(bits(&m.particles.ux), bits(&t.particles.ux));
+            prop_assert_eq!(bits(&m.particles.uy), bits(&t.particles.uy));
+            prop_assert_eq!(bits(&m.particles.uz), bits(&t.particles.uz));
+            prop_assert_eq!(bits(m.fields.ex.as_slice()), bits(t.fields.ex.as_slice()));
+            prop_assert_eq!(bits(m.fields.bz.as_slice()), bits(t.fields.bz.as_slice()));
+        }
+    }
+}

@@ -14,8 +14,26 @@
 //! rank states for full multi-iteration simulations; the bench binary
 //! `threaded_vs_modeled` quantifies how far the cost model drifts from
 //! real execution.
+//!
+//! ## Failure reporting
+//!
+//! Every communication operation returns `Result<(), SpmdError>` so a
+//! rank failure — panic, receive timeout, injected kill, poisoned
+//! mailbox — surfaces as a typed value carrying the failing rank, the
+//! phase, the engine's superstep index, and the driver's fault epoch.
+//! Fault schedules are installed via [`SpmdEngine::set_fault_plan`] and
+//! scoped in time by [`SpmdEngine::set_fault_epoch`] (the PIC driver sets
+//! the epoch to the iteration number every iteration).  The modeled
+//! machine honors only kill faults — it has no real wires for benign
+//! delay/reorder/drop faults to act on; the threaded machine honors all
+//! of them at the mailbox layer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use crate::config::MachineConfig;
+use crate::error::SpmdError;
+use crate::fault::FaultPlan;
 use crate::machine::{ExecMode, Machine, Outbox, PhaseCtx};
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog};
@@ -60,17 +78,35 @@ pub trait SpmdEngine<S: Send>: Sized {
     /// Mutable statistics log (drained per iteration by the PIC driver).
     fn stats_mut(&mut self) -> &mut StatsLog;
 
+    /// Install (or clear) a fault schedule for subsequent operations.
+    fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>);
+
+    /// The installed fault schedule, if any.
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>>;
+
+    /// Set the fault epoch faults are matched against (drivers use their
+    /// iteration counter, so plans can say "kill rank 2 at iteration 25").
+    fn set_fault_epoch(&mut self, epoch: u64);
+
+    /// The current fault epoch.
+    fn fault_epoch(&self) -> u64;
+
     /// Run one superstep: `compute` on every rank (may send messages),
     /// then `deliver` on every rank with its inbox sorted by sender rank
     /// (order within one sender preserved).
-    fn superstep<M, F, G>(&mut self, phase: PhaseKind, compute: F, deliver: G)
+    fn superstep<M, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        compute: F,
+        deliver: G,
+    ) -> Result<(), SpmdError>
     where
         M: Payload,
         F: Fn(usize, &mut S, &mut PhaseCtx, &mut Outbox<M>) + Sync,
         G: Fn(usize, &mut S, &mut PhaseCtx, Vec<(usize, M)>) + Sync;
 
     /// A communication-free superstep.
-    fn local_step<F>(&mut self, phase: PhaseKind, compute: F)
+    fn local_step<F>(&mut self, phase: PhaseKind, compute: F) -> Result<(), SpmdError>
     where
         F: Fn(usize, &mut S, &mut PhaseCtx) + Sync,
     {
@@ -78,12 +114,18 @@ pub trait SpmdEngine<S: Send>: Sized {
             phase,
             move |r, s, ctx, _outbox| compute(r, s, ctx),
             |_, _, _, _| {},
-        );
+        )
     }
 
     /// Global concatenation: every rank contributes one value, every rank
     /// receives the full rank-indexed vector.
-    fn allgather<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    fn allgather<T, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        bytes_per_item: usize,
+        extract: F,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> T + Sync,
@@ -96,7 +138,8 @@ pub trait SpmdEngine<S: Send>: Sized {
         bytes_per_item: usize,
         extract: F,
         apply: G,
-    ) where
+    ) -> Result<(), SpmdError>
+    where
         T: Clone + Send,
         F: Fn(usize, &S) -> Vec<T> + Sync,
         G: Fn(usize, &mut S, &[T]) + Sync;
@@ -104,7 +147,13 @@ pub trait SpmdEngine<S: Send>: Sized {
     /// All-reduce with a caller-supplied fold.  The fold is applied in
     /// rank order on every executor so floating-point results are
     /// bit-identical across them.
-    fn allreduce<T, F, R, G>(&mut self, phase: PhaseKind, extract: F, reduce: R, apply: G)
+    fn allreduce<T, F, R, G>(
+        &mut self,
+        phase: PhaseKind,
+        extract: F,
+        reduce: R,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> T + Sync,
@@ -112,9 +161,8 @@ pub trait SpmdEngine<S: Send>: Sized {
         G: Fn(usize, &mut S, &T) + Sync;
 
     /// Element-wise all-reduce of per-rank arrays (rank-ordered fold).
-    ///
-    /// # Panics
-    /// Panics if ranks contribute arrays of different lengths.
+    /// Fails with a panic cause if ranks contribute arrays of different
+    /// lengths.
     fn allreduce_elementwise<T, F, R, G>(
         &mut self,
         phase: PhaseKind,
@@ -122,14 +170,15 @@ pub trait SpmdEngine<S: Send>: Sized {
         extract: F,
         reduce: R,
         apply: G,
-    ) where
+    ) -> Result<(), SpmdError>
+    where
         T: Clone + Send,
         F: Fn(usize, &S) -> Vec<T> + Sync,
         R: Fn(&T, &T) -> T + Sync,
         G: Fn(usize, &mut S, &[T]) + Sync;
 
     /// Synchronize all ranks.
-    fn barrier(&mut self);
+    fn barrier(&mut self) -> Result<(), SpmdError>;
 }
 
 impl<S: Send> SpmdEngine<S> for Machine<S> {
@@ -173,41 +222,100 @@ impl<S: Send> SpmdEngine<S> for Machine<S> {
         Machine::stats_mut(self)
     }
 
-    fn superstep<M, F, G>(&mut self, phase: PhaseKind, compute: F, deliver: G)
+    fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        Machine::set_fault_plan(self, plan);
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        Machine::fault_plan(self)
+    }
+
+    fn set_fault_epoch(&mut self, epoch: u64) {
+        Machine::set_fault_epoch(self, epoch);
+    }
+
+    fn fault_epoch(&self) -> u64 {
+        Machine::fault_epoch(self)
+    }
+
+    fn superstep<M, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        compute: F,
+        deliver: G,
+    ) -> Result<(), SpmdError>
     where
         M: Payload,
         F: Fn(usize, &mut S, &mut PhaseCtx, &mut Outbox<M>) + Sync,
         G: Fn(usize, &mut S, &mut PhaseCtx, Vec<(usize, M)>) + Sync,
     {
-        Machine::superstep(self, phase, compute, deliver);
+        let step = self.fault_guard(phase)?;
+        let epoch = Machine::fault_epoch(self);
+        catch_unwind(AssertUnwindSafe(|| {
+            Machine::superstep(self, phase, compute, deliver)
+        }))
+        .map_err(|p| SpmdError::from_panic_payload(p).in_phase(phase, step, epoch))
     }
 
-    fn allgather<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    fn allgather<T, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        bytes_per_item: usize,
+        extract: F,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> T + Sync,
         G: Fn(usize, &mut S, &[T]) + Sync,
     {
-        Machine::allgather(self, phase, bytes_per_item, extract, apply);
+        let step = self.fault_guard(phase)?;
+        let epoch = Machine::fault_epoch(self);
+        catch_unwind(AssertUnwindSafe(|| {
+            Machine::allgather(self, phase, bytes_per_item, extract, apply)
+        }))
+        .map_err(|p| SpmdError::from_panic_payload(p).in_phase(phase, step, epoch))
     }
 
-    fn allgatherv<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    fn allgatherv<T, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        bytes_per_item: usize,
+        extract: F,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> Vec<T> + Sync,
         G: Fn(usize, &mut S, &[T]) + Sync,
     {
-        Machine::allgatherv(self, phase, bytes_per_item, extract, apply);
+        let step = self.fault_guard(phase)?;
+        let epoch = Machine::fault_epoch(self);
+        catch_unwind(AssertUnwindSafe(|| {
+            Machine::allgatherv(self, phase, bytes_per_item, extract, apply)
+        }))
+        .map_err(|p| SpmdError::from_panic_payload(p).in_phase(phase, step, epoch))
     }
 
-    fn allreduce<T, F, R, G>(&mut self, phase: PhaseKind, extract: F, reduce: R, apply: G)
+    fn allreduce<T, F, R, G>(
+        &mut self,
+        phase: PhaseKind,
+        extract: F,
+        reduce: R,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> T + Sync,
         R: Fn(T, T) -> T + Sync,
         G: Fn(usize, &mut S, &T) + Sync,
     {
-        Machine::allreduce(self, phase, extract, reduce, apply);
+        let step = self.fault_guard(phase)?;
+        let epoch = Machine::fault_epoch(self);
+        catch_unwind(AssertUnwindSafe(|| {
+            Machine::allreduce(self, phase, extract, reduce, apply)
+        }))
+        .map_err(|p| SpmdError::from_panic_payload(p).in_phase(phase, step, epoch))
     }
 
     fn allreduce_elementwise<T, F, R, G>(
@@ -217,16 +325,25 @@ impl<S: Send> SpmdEngine<S> for Machine<S> {
         extract: F,
         reduce: R,
         apply: G,
-    ) where
+    ) -> Result<(), SpmdError>
+    where
         T: Clone + Send,
         F: Fn(usize, &S) -> Vec<T> + Sync,
         R: Fn(&T, &T) -> T + Sync,
         G: Fn(usize, &mut S, &[T]) + Sync,
     {
-        Machine::allreduce_elementwise(self, phase, share_bytes, extract, reduce, apply);
+        let step = self.fault_guard(phase)?;
+        let epoch = Machine::fault_epoch(self);
+        catch_unwind(AssertUnwindSafe(|| {
+            Machine::allreduce_elementwise(self, phase, share_bytes, extract, reduce, apply)
+        }))
+        .map_err(|p| SpmdError::from_panic_payload(p).in_phase(phase, step, epoch))
     }
 
-    fn barrier(&mut self) {
-        Machine::barrier(self);
+    fn barrier(&mut self) -> Result<(), SpmdError> {
+        let step = self.fault_guard(PhaseKind::Other)?;
+        let epoch = Machine::fault_epoch(self);
+        catch_unwind(AssertUnwindSafe(|| Machine::barrier(self)))
+            .map_err(|p| SpmdError::from_panic_payload(p).in_phase(PhaseKind::Other, step, epoch))
     }
 }

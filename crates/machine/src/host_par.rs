@@ -53,7 +53,13 @@ where
         }
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("host worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(outputs) => outputs,
+                // Re-raise the worker's own payload so the engine-level
+                // catch_unwind reports the root cause, not a generic
+                // "host worker panicked".
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

@@ -53,6 +53,8 @@ pub mod clock;
 pub mod collectives;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod fault;
 mod host_par;
 pub mod machine;
 pub mod payload;
@@ -63,6 +65,8 @@ pub mod threaded_engine;
 pub use clock::Clock;
 pub use config::{MachineConfig, Topology};
 pub use engine::SpmdEngine;
+pub use error::{FailureCause, SpmdError, TimeoutDetail};
+pub use fault::{FaultKind, FaultNoise, FaultPlan, FaultSession, FaultSpec, SendFault};
 pub use machine::{ExecMode, Machine, Outbox, PhaseCtx};
 pub use payload::Payload;
 pub use stats::{PhaseKind, StatsLog, SuperstepStats};

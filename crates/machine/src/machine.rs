@@ -14,8 +14,12 @@
 //! Self-messages are delivered but cost nothing, matching the paper's
 //! machine model where only *off-processor* accesses pay τ/μ.
 
+use std::sync::Arc;
+
 use crate::clock::Clock;
 use crate::config::MachineConfig;
+use crate::error::{FailureCause, SpmdError};
+use crate::fault::FaultPlan;
 use crate::host_par;
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
@@ -106,6 +110,14 @@ pub struct Machine<S> {
     states: Vec<S>,
     clocks: Vec<Clock>,
     stats: StatsLog,
+    /// Fault schedule honored by the engine-trait wrappers (the modeled
+    /// machine has no real wires, so only kill faults apply).
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Driver-set fault epoch (the PIC driver uses the iteration number).
+    fault_epoch: u64,
+    /// Operations issued through the engine trait (superstep index in
+    /// error context).
+    supersteps: u64,
 }
 
 impl<S: Send> Machine<S> {
@@ -128,7 +140,55 @@ impl<S: Send> Machine<S> {
             states,
             clocks,
             stats: StatsLog::new(),
+            fault_plan: None,
+            fault_epoch: 0,
+            supersteps: 0,
         }
+    }
+
+    /// Install (or clear) a fault schedule.  The modeled machine has no
+    /// real wires, so only kill faults apply; benign delay/reorder/drop
+    /// faults are executor-level phenomena and are ignored here.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone()
+    }
+
+    /// Advance the fault epoch (the PIC driver sets it to the iteration
+    /// number so fault specs can say "at iteration 25").
+    pub fn set_fault_epoch(&mut self, epoch: u64) {
+        self.fault_epoch = epoch;
+    }
+
+    /// The current fault epoch.
+    pub fn fault_epoch(&self) -> u64 {
+        self.fault_epoch
+    }
+
+    /// Engine-trait bookkeeping: bump the superstep counter and fail if
+    /// a kill fault strikes any rank now.  Returns the operation's
+    /// superstep index for error context.
+    pub(crate) fn fault_guard(&mut self, phase: PhaseKind) -> Result<u64, SpmdError> {
+        let step = self.supersteps;
+        self.supersteps += 1;
+        if let Some(plan) = &self.fault_plan {
+            for r in 0..self.cfg.ranks {
+                if plan.consume_kill(r, self.fault_epoch, phase) {
+                    return Err(SpmdError::on_rank(
+                        r,
+                        FailureCause::Killed {
+                            epoch: self.fault_epoch,
+                        },
+                    )
+                    .in_phase(phase, step, self.fault_epoch));
+                }
+            }
+        }
+        Ok(step)
     }
 
     /// Machine configuration.

@@ -22,46 +22,87 @@
 //!
 //! ## Failure semantics
 //!
-//! A panicking rank must not leave peers blocked in a receive forever
+//! A failing rank must not leave peers blocked in a receive forever
 //! (every mailbox holds a clone of every sender — including its own — so
-//! channels never close on their own).  Two mechanisms bound every run:
+//! channels never close on their own).  Three mechanisms bound every run:
 //!
 //! * **poison propagation** — each rank thread runs its program under
-//!   `catch_unwind`; on panic it broadcasts a poison message to every
-//!   rank before exiting, and any rank that receives poison panics in
-//!   turn, so the whole run unwinds promptly and [`run_spmd`] re-raises
-//!   the original payload;
-//! * **receive timeout** — every blocking receive uses a deadline
-//!   (default [`DEFAULT_RECV_TIMEOUT`]); a genuine protocol deadlock
-//!   panics with a diagnostic instead of hanging the process.
+//!   `catch_unwind`; on failure it broadcasts a poison message to every
+//!   rank before exiting, and any rank that receives poison unwinds in
+//!   turn, so the whole run collapses promptly and the entry points
+//!   return the *root* cause as a typed [`SpmdError`];
+//! * **retry with exponential backoff** — a blocking receive waits in
+//!   slices starting at [`RETRY_INITIAL_BACKOFF`] and doubling up to
+//!   [`RETRY_MAX_BACKOFF`]; each expired slice retransmits any messages
+//!   this rank still owes its peers (see fault injection below), so
+//!   transiently lost messages recover without aborting the run;
+//! * **receive deadline** — when the cumulative wait exceeds the run's
+//!   timeout (default [`DEFAULT_RECV_TIMEOUT`]), the rank fails with a
+//!   structured [`TimeoutDetail`] carrying the operation, expected vs
+//!   received message counts and per-rank in-flight counts, instead of
+//!   hanging the process.
+//!
+//! ## Fault injection
+//!
+//! A [`Mailbox`] optionally carries a [`FaultSession`] (one rank's view of
+//! a seeded [`FaultPlan`](crate::fault::FaultPlan)).  Benign faults act at
+//! the wire level — a delayed send sleeps, a reordered exchange visits
+//! destinations in a scrambled order, a dropped message is parked in a
+//! per-destination *lost queue* (everything later addressed to the same
+//! destination queues behind it, preserving per-destination FIFO) and
+//! retransmitted by the backoff loop or at operation exit.  Kill faults
+//! abort the rank at its next mailbox operation with a typed
+//! `Killed` failure.  Correct runs produce bit-identical results under
+//! any benign plan; the chaos suite asserts this.
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-/// Default per-receive deadline before a run is declared deadlocked.
+use crate::error::{FailureCause, RankFailure, SpmdError, TimeoutDetail};
+use crate::fault::{FaultPlan, FaultSession, SendFault};
+use crate::stats::PhaseKind;
+
+/// Default cumulative per-receive deadline before a run is declared
+/// deadlocked.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Panic payload used when a rank aborts because a *peer* panicked.  The
-/// runners filter these out so the root cause's payload is what callers
-/// see re-raised.
+/// First wait slice of the receive retry loop; each expiry retransmits
+/// this rank's lost-queue contents and doubles the slice.
+pub const RETRY_INITIAL_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Upper bound of the exponential backoff between retransmissions.
+pub const RETRY_MAX_BACKOFF: Duration = Duration::from_millis(256);
+
+/// Panic payload used when a rank aborts because a *peer* failed.  The
+/// runners filter these out so the root cause is what callers see.
 pub(crate) struct PoisonedBy(pub(crate) usize);
 
 /// What travels on the wire between rank threads.
+///
+/// Collective wires carry the sender's collective sequence number.  In an
+/// SPMD program every rank executes the same collectives in the same
+/// order, so the numbers agree; tagging them keeps a fast rank's *next*
+/// collective from being consumed by a slow rank still inside the
+/// previous one (the stray wire parks in `pending` until its turn).
 pub(crate) enum Wire<M> {
     /// One point-to-point message.
     Msg(M),
-    /// A whole vector contributed to a vector collective.
-    Many(Vec<M>),
-    /// Count handshake of [`Mailbox::exchange`]: "expect this many
-    /// messages from me in this exchange".
-    Count(usize),
-    /// Dissemination-barrier token for the given round.
-    Barrier(u32),
-    /// The sending rank panicked; receivers must unwind.
+    /// One payload message of collective `seq` ([`Mailbox::exchange`]).
+    Part(u64, M),
+    /// A whole vector contributed to vector collective `seq`.
+    Many(u64, Vec<M>),
+    /// Count handshake of exchange collective `seq`: "expect this many
+    /// payloads from me in this exchange".
+    Count(u64, usize),
+    /// Dissemination-barrier token of collective `seq`, for the given
+    /// round.
+    Barrier(u64, u32),
+    /// The sending rank failed; receivers must unwind.
     Poison,
 }
 
@@ -73,7 +114,16 @@ pub struct Mailbox<M> {
     /// Messages received while waiting for something else (e.g. a fast
     /// peer's next-step traffic arriving during this step's collective).
     pending: VecDeque<(usize, Wire<M>)>,
+    /// Per-destination queues of wires withheld by an injected drop
+    /// fault.  Everything later addressed to a stalled destination queues
+    /// behind the dropped wire so per-destination FIFO survives the
+    /// retransmission.
+    lost: Vec<VecDeque<Wire<M>>>,
+    /// Collective operations started so far; tags collective wires (see
+    /// [`Wire`]).
+    seq: u64,
     timeout: Duration,
+    fault: Option<FaultSession>,
 }
 
 /// Build the `p` connected mailboxes of one run.
@@ -93,9 +143,33 @@ pub(crate) fn make_mailboxes<M>(p: usize, timeout: Duration) -> Vec<Mailbox<M>> 
             senders: senders.clone(),
             receiver,
             pending: VecDeque::new(),
+            lost: (0..p).map(|_| VecDeque::new()).collect(),
+            seq: 0,
             timeout,
+            fault: None,
         })
         .collect()
+}
+
+impl<M> Mailbox<M> {
+    /// Retransmit every wire withheld by a drop fault, in per-destination
+    /// FIFO order.  Retransmission bypasses fault injection — a retried
+    /// message is never dropped again, so delivery is guaranteed.
+    fn flush_lost(&mut self) {
+        for (to, queue) in self.lost.iter_mut().enumerate() {
+            while let Some(wire) = queue.pop_front() {
+                let _ = self.senders[to].send((self.rank, wire));
+            }
+        }
+    }
+}
+
+impl<M> Drop for Mailbox<M> {
+    fn drop(&mut self) {
+        // A program may end right after a send that a fault withheld;
+        // peers are still waiting on it, so the last flush happens here.
+        self.flush_lost();
+    }
 }
 
 impl<M: Send> Mailbox<M> {
@@ -115,44 +189,113 @@ impl<M: Send> Mailbox<M> {
         self.senders.clone()
     }
 
-    fn push_wire(&self, to: usize, wire: Wire<M>) {
+    /// Attach one rank's fault-plan session for this run/superstep.
+    pub(crate) fn set_fault(&mut self, session: Option<FaultSession>) {
+        self.fault = session;
+    }
+
+    /// Abort the rank if a kill fault is armed for it right now.
+    fn check_kill(&self) {
+        if let Some(fault) = &self.fault {
+            if fault.should_kill() {
+                panic_any(RankFailure::Killed {
+                    rank: self.rank,
+                    epoch: fault.epoch(),
+                });
+            }
+        }
+    }
+
+    fn push_wire(&mut self, to: usize, wire: Wire<M>) {
         assert!(
             to < self.senders.len(),
             "destination rank {to} out of range"
         );
+        if !self.lost[to].is_empty() {
+            // A drop fault already stalled this destination; queue behind
+            // it so per-destination FIFO survives the retransmission.
+            self.lost[to].push_back(wire);
+            return;
+        }
+        let verdict = match self.fault.as_mut() {
+            Some(f) => f.on_send(),
+            None => SendFault::Deliver,
+        };
+        match verdict {
+            SendFault::Deliver => {}
+            SendFault::Delay(d) => thread::sleep(d),
+            SendFault::Drop => {
+                self.lost[to].push_back(wire);
+                return;
+            }
+        }
         // A closed channel means the receiving thread is gone, which only
         // happens when the run is already unwinding; drop silently so the
-        // first panic stays the root cause.
+        // first failure stays the root cause.
         let _ = self.senders[to].send((self.rank, wire));
     }
 
     /// Send `msg` to rank `to`.
     ///
     /// # Panics
-    /// Panics if `to` is out of range.
-    pub fn send(&self, to: usize, msg: M) {
+    /// Panics if `to` is out of range, or to abort the rank on an
+    /// injected kill / peer poison (caught by the runners and surfaced as
+    /// [`SpmdError`]).
+    pub fn send(&mut self, to: usize, msg: M) {
+        self.check_kill();
         self.push_wire(to, Wire::Msg(msg));
     }
 
-    /// Next wire message satisfying `pred`, buffering others (poison and
-    /// timeout both panic).
-    fn next_matching<P: Fn(&Wire<M>) -> bool>(&mut self, pred: P) -> (usize, Wire<M>) {
+    /// Next wire message satisfying `pred`, buffering others.
+    ///
+    /// Waits in exponentially growing slices; each expired slice
+    /// retransmits this rank's lost queue (a peer may be blocked on a
+    /// dropped message of ours).  Once the cumulative wait exceeds the
+    /// run timeout, aborts the rank with a typed timeout whose
+    /// [`TimeoutDetail`] comes from `detail()` = `(expected, received,
+    /// per-rank in-flight counts)`.
+    fn next_matching<P, D>(
+        &mut self,
+        operation: &'static str,
+        pred: P,
+        detail: D,
+    ) -> (usize, Wire<M>)
+    where
+        P: Fn(&Wire<M>) -> bool,
+        D: Fn() -> (usize, usize, Vec<usize>),
+    {
         if let Some(pos) = self.pending.iter().position(|(_, w)| pred(w)) {
             return self.pending.remove(pos).expect("position just found");
         }
+        let mut waited = Duration::ZERO;
+        let mut backoff = RETRY_INITIAL_BACKOFF;
         loop {
-            match self.receiver.recv_timeout(self.timeout) {
-                Ok((from, Wire::Poison)) => std::panic::panic_any(PoisonedBy(from)),
+            let slice = backoff.min(self.timeout.saturating_sub(waited));
+            if slice.is_zero() {
+                let (expected, received, in_flight) = detail();
+                panic_any(RankFailure::Timeout {
+                    rank: self.rank,
+                    detail: TimeoutDetail {
+                        operation,
+                        expected,
+                        received,
+                        in_flight,
+                        waited,
+                    },
+                });
+            }
+            match self.receiver.recv_timeout(slice) {
+                Ok((from, Wire::Poison)) => panic_any(PoisonedBy(from)),
                 Ok((from, wire)) if pred(&wire) => return (from, wire),
                 Ok(other) => self.pending.push_back(other),
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "rank {} received no message within {:?} — SPMD deadlock suspected",
-                    self.rank, self.timeout
-                ),
-                Err(RecvTimeoutError::Disconnected) => panic!(
-                    "rank {}: all peers gone before the expected message arrived",
-                    self.rank
-                ),
+                Err(RecvTimeoutError::Timeout) => {
+                    waited += slice;
+                    self.flush_lost();
+                    backoff = (backoff * 2).min(RETRY_MAX_BACKOFF);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic_any(RankFailure::Disconnected { rank: self.rank })
+                }
             }
         }
     }
@@ -162,17 +305,24 @@ impl<M: Send> Mailbox<M> {
     /// result is deterministic regardless of thread scheduling.
     ///
     /// # Panics
-    /// Panics on poison (a peer died) or timeout (deadlock).
+    /// Aborts the rank (typed payload) on poison, timeout, or injected
+    /// kill; the runners surface it as [`SpmdError`].
     pub fn recv_exact(&mut self, n: usize) -> Vec<(usize, M)> {
-        let mut msgs: Vec<(usize, M)> = (0..n)
-            .map(|_| {
-                let (from, wire) = self.next_matching(|w| matches!(w, Wire::Msg(_)));
-                match wire {
-                    Wire::Msg(m) => (from, m),
-                    _ => unreachable!("next_matching returned a non-Msg wire"),
-                }
-            })
-            .collect();
+        self.check_kill();
+        let mut msgs: Vec<(usize, M)> = Vec::with_capacity(n);
+        while msgs.len() < n {
+            let received = msgs.len();
+            let (from, wire) = self.next_matching(
+                "recv_exact",
+                |w| matches!(w, Wire::Msg(_)),
+                move || (n, received, Vec::new()),
+            );
+            match wire {
+                Wire::Msg(m) => msgs.push((from, m)),
+                _ => unreachable!("next_matching returned a non-Msg wire"),
+            }
+        }
+        self.flush_lost();
         msgs.sort_by_key(|&(from, _)| from);
         msgs
     }
@@ -182,19 +332,36 @@ impl<M: Send> Mailbox<M> {
     /// the payloads.  Self-addressed messages round-trip through the
     /// rank's own channel.  Returns the inbox sorted by sender rank with
     /// per-sender order preserved — exactly the modeled machine's
-    /// delivery order.
+    /// delivery order (an injected reorder fault only scrambles which
+    /// *destination* is served first; per-destination order is kept, so
+    /// results never change).
     pub fn exchange(&mut self, outgoing: Vec<(usize, M)>) -> Vec<(usize, M)> {
+        self.check_kill();
+        self.seq += 1;
+        let seq = self.seq;
         let p = self.num_ranks();
-        let mut counts = vec![0usize; p];
-        for (to, _) in &outgoing {
-            assert!(*to < p, "destination rank {to} out of range");
-            counts[*to] += 1;
-        }
-        for (to, &n) in counts.iter().enumerate() {
-            self.push_wire(to, Wire::Count(n));
-        }
+        let mut groups: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
         for (to, msg) in outgoing {
-            self.push_wire(to, Wire::Msg(msg));
+            assert!(to < p, "destination rank {to} out of range");
+            groups[to].push(msg);
+        }
+        let order: Vec<usize> = match self.fault.as_mut() {
+            Some(f) => {
+                if f.reorder_exchange() {
+                    f.destination_permutation(p)
+                } else {
+                    (0..p).collect()
+                }
+            }
+            None => (0..p).collect(),
+        };
+        for &to in &order {
+            self.push_wire(to, Wire::Count(seq, groups[to].len()));
+        }
+        for &to in &order {
+            for msg in std::mem::take(&mut groups[to]) {
+                self.push_wire(to, Wire::Part(seq, msg));
+            }
         }
         // collect until every peer's count is known and fulfilled
         let mut expected: Vec<Option<usize>> = vec![None; p];
@@ -206,19 +373,45 @@ impl<M: Send> Mailbox<M> {
                 .all(|(e, g)| e.map(|n| g.len() == n).unwrap_or(false))
         };
         while !done(&expected, &got) {
-            let (from, wire) = self.next_matching(|w| matches!(w, Wire::Count(_) | Wire::Msg(_)));
+            let (from, wire) = {
+                let expected = &expected;
+                let got = &got;
+                self.next_matching(
+                    "exchange",
+                    move |w| matches!(w, Wire::Count(s, _) | Wire::Part(s, _) if *s == seq),
+                    move || {
+                        let all_known = expected.iter().all(Option::is_some);
+                        let total = if all_known {
+                            expected.iter().map(|e| e.unwrap_or(0)).sum()
+                        } else {
+                            0 // unknown until every handshake arrives
+                        };
+                        let received = got.iter().map(Vec::len).sum();
+                        let in_flight = expected
+                            .iter()
+                            .zip(got)
+                            .map(|(e, g)| match e {
+                                Some(n) => n.saturating_sub(g.len()),
+                                None => 1, // at least the handshake itself
+                            })
+                            .collect();
+                        (total, received, in_flight)
+                    },
+                )
+            };
             match wire {
-                Wire::Count(n) => {
+                Wire::Count(_, n) => {
                     assert!(
                         expected[from].is_none(),
                         "rank {from} sent two exchange handshakes"
                     );
                     expected[from] = Some(n);
                 }
-                Wire::Msg(m) => got[from].push(m),
+                Wire::Part(_, m) => got[from].push(m),
                 _ => unreachable!("next_matching returned a non-exchange wire"),
             }
         }
+        self.flush_lost();
         got.into_iter()
             .enumerate()
             .flat_map(|(from, msgs)| msgs.into_iter().map(move |m| (from, m)))
@@ -247,17 +440,31 @@ impl<M: Send> Mailbox<M> {
     where
         M: Clone,
     {
+        self.check_kill();
+        self.seq += 1;
+        let seq = self.seq;
         let p = self.num_ranks();
         for to in 0..p {
             if to != self.rank {
-                self.push_wire(to, Wire::Many(values.clone()));
+                self.push_wire(to, Wire::Many(seq, values.clone()));
             }
         }
         let mut result: Vec<Option<Vec<M>>> = vec![None; p];
         result[self.rank] = Some(values);
         while result.iter().any(Option::is_none) {
-            let (from, wire) = self.next_matching(|w| matches!(w, Wire::Many(_)));
-            let Wire::Many(v) = wire else {
+            let (from, wire) = {
+                let result = &result;
+                self.next_matching(
+                    "allgather",
+                    move |w| matches!(w, Wire::Many(s, _) if *s == seq),
+                    move || {
+                        let received = result.iter().filter(|v| v.is_some()).count() - 1;
+                        let in_flight = result.iter().map(|v| usize::from(v.is_none())).collect();
+                        (p - 1, received, in_flight)
+                    },
+                )
+            };
+            let Wire::Many(_, v) = wire else {
                 unreachable!("next_matching returned a non-Many wire")
             };
             assert!(
@@ -266,6 +473,7 @@ impl<M: Send> Mailbox<M> {
             );
             result[from] = Some(v);
         }
+        self.flush_lost();
         result.into_iter().map(|v| v.expect("all filled")).collect()
     }
 
@@ -280,98 +488,127 @@ impl<M: Send> Mailbox<M> {
 
     /// Dissemination barrier: `ceil(log2 p)` rounds of token passing.
     ///
-    /// At round `k` the only rank that ever sends *this* rank a round-`k`
-    /// token is `(rank - 2^k) mod p` (the offset determines the round
-    /// uniquely per sender pair), and per-sender FIFO ordering keeps
-    /// consecutive barriers from confusing each other's tokens, so
-    /// matching on the round number alone is unambiguous.
+    /// Tokens are tagged with the barrier's collective sequence number
+    /// and the round, so neither a fast peer's *next* barrier nor a
+    /// different round of this one can satisfy the wait.
     pub fn barrier(&mut self) {
+        self.check_kill();
+        self.seq += 1;
+        let seq = self.seq;
         let p = self.num_ranks();
         let mut round = 0u32;
         let mut dist = 1usize;
         while dist < p {
             let to = (self.rank + dist) % p;
             let expect_from = (self.rank + p - dist) % p;
-            self.push_wire(to, Wire::Barrier(round));
+            self.push_wire(to, Wire::Barrier(seq, round));
             let want = round;
-            let (got_from, _) = self.next_matching(|w| matches!(w, Wire::Barrier(r) if *r == want));
+            let (got_from, _) = self.next_matching(
+                "barrier",
+                move |w| matches!(w, Wire::Barrier(s, r) if *s == seq && *r == want),
+                move || (1, 0, Vec::new()),
+            );
             debug_assert_eq!(got_from, expect_from, "unexpected barrier peer");
             round += 1;
             dist *= 2;
         }
+        self.flush_lost();
     }
 }
 
-/// Broadcast poison to every rank (used by thread wrappers on panic).
+/// Broadcast poison to every rank (used by thread wrappers on failure).
 pub(crate) fn poison_all<M: Send>(rank: usize, senders: &[Sender<(usize, Wire<M>)>]) {
     for tx in senders {
         let _ = tx.send((rank, Wire::Poison));
     }
 }
 
-/// Split per-rank outcomes into results or the panic to re-raise.
+/// Split per-rank outcomes into results or the error to surface.
 ///
-/// When several ranks panicked, the *root cause* wins: a [`PoisonedBy`]
+/// When several ranks failed, the *root cause* wins: a [`PoisonedBy`]
 /// payload means the rank only unwound because a peer died, so any
-/// non-poison payload takes precedence regardless of rank order.
+/// non-poison payload takes precedence regardless of rank order.  A run
+/// that only saw poison (root thread died without unwinding through
+/// `catch_unwind`, e.g. via abort-on-double-panic) still names the rank
+/// whose poison was received.
 pub(crate) fn resolve_rank_results<R>(
     outcomes: Vec<Result<R, Box<dyn Any + Send>>>,
-) -> Result<Vec<R>, Box<dyn Any + Send>> {
+) -> Result<Vec<R>, SpmdError> {
     let mut results = Vec::with_capacity(outcomes.len());
     let mut root: Option<Box<dyn Any + Send>> = None;
-    let mut poison: Option<Box<dyn Any + Send>> = None;
+    let mut poisoned_by: Option<usize> = None;
     for outcome in outcomes {
         match outcome {
             Ok(r) => results.push(r),
-            Err(e) if e.is::<PoisonedBy>() => {
-                poison.get_or_insert(e);
-            }
-            Err(e) => {
-                root.get_or_insert(e);
-            }
+            Err(e) => match e.downcast::<PoisonedBy>() {
+                Ok(p) => {
+                    poisoned_by.get_or_insert(p.0);
+                }
+                Err(e) => {
+                    root.get_or_insert(e);
+                }
+            },
         }
     }
-    let describe = |e: Box<dyn Any + Send>| -> Box<dyn Any + Send> {
-        // A run that only saw poison (root thread died without unwinding
-        // through catch_unwind, e.g. via abort-on-double-panic) still gets
-        // a readable message.
-        match e.downcast::<PoisonedBy>() {
-            Ok(p) => Box::new(format!("rank {} panicked; SPMD run poisoned", p.0)),
-            Err(e) => e,
-        }
-    };
-    match root.or_else(|| poison.map(describe)) {
-        Some(e) => Err(e),
-        None => Ok(results),
+    match (root, poisoned_by) {
+        (Some(payload), _) => Err(SpmdError::from_panic_payload(payload)),
+        (None, Some(by)) => Err(SpmdError::on_rank(by, FailureCause::Poisoned { by })),
+        (None, None) => Ok(results),
     }
 }
 
 /// Run an SPMD program on `p` OS threads, one per rank, each with a
-/// [`Mailbox`].  Returns the per-rank results in rank order.
+/// [`Mailbox`].  Returns the per-rank results in rank order, or the
+/// *root* failure as a typed [`SpmdError`] (a failing rank poisons all
+/// peers, so the call returns within bounded time instead of hanging
+/// peers in a receive).
 ///
 /// # Panics
-/// Propagates the first panicking rank's payload.  A panicking rank
-/// poisons all peers, so the call returns (or panics) within bounded
-/// time instead of hanging peers in a receive.
-pub fn run_spmd<M, R, F>(p: usize, program: F) -> Vec<R>
+/// Panics if `p == 0`.
+pub fn run_spmd<M, R, F>(p: usize, program: F) -> Result<Vec<R>, SpmdError>
 where
     M: Send + 'static,
     R: Send + 'static,
     F: Fn(Mailbox<M>) -> R + Send + Sync + 'static + Clone,
 {
-    run_spmd_with_timeout(p, DEFAULT_RECV_TIMEOUT, program)
+    run_spmd_with(p, DEFAULT_RECV_TIMEOUT, None, program)
 }
 
 /// [`run_spmd`] with an explicit per-receive deadline (tests use short
 /// deadlines to assert bounded-time failure).
-pub fn run_spmd_with_timeout<M, R, F>(p: usize, timeout: Duration, program: F) -> Vec<R>
+pub fn run_spmd_with_timeout<M, R, F>(
+    p: usize,
+    timeout: Duration,
+    program: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: Fn(Mailbox<M>) -> R + Send + Sync + 'static + Clone,
+{
+    run_spmd_with(p, timeout, None, program)
+}
+
+/// Full-control entry point: explicit deadline and an optional fault
+/// plan applied at fault epoch `epoch` (the chaos suite's workhorse).
+pub fn run_spmd_with<M, R, F>(
+    p: usize,
+    timeout: Duration,
+    fault: Option<(Arc<FaultPlan>, u64)>,
+    program: F,
+) -> Result<Vec<R>, SpmdError>
 where
     M: Send + 'static,
     R: Send + 'static,
     F: Fn(Mailbox<M>) -> R + Send + Sync + 'static + Clone,
 {
     assert!(p > 0, "need at least one rank");
-    let mailboxes = make_mailboxes::<M>(p, timeout);
+    let mut mailboxes = make_mailboxes::<M>(p, timeout);
+    if let Some((plan, epoch)) = &fault {
+        for (rank, mb) in mailboxes.iter_mut().enumerate() {
+            mb.set_fault(Some(plan.session(rank, *epoch, PhaseKind::Other)));
+        }
+    }
     let handles: Vec<_> = mailboxes
         .into_iter()
         .map(|mailbox| {
@@ -394,15 +631,13 @@ where
             Err(payload) => Err(payload),
         })
         .collect();
-    match resolve_rank_results(outcomes) {
-        Ok(results) => results,
-        Err(payload) => resume_unwind(payload),
-    }
+    resolve_rank_results(outcomes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultNoise;
     use std::time::Instant;
 
     #[test]
@@ -412,7 +647,8 @@ mod tests {
             mb.send(next, mb.rank() as u64 * 100);
             let got = mb.recv_exact(1);
             got[0].1
-        });
+        })
+        .expect("fault-free run");
         assert_eq!(results, vec![300, 0, 100, 200]);
     }
 
@@ -426,7 +662,8 @@ mod tests {
                 }
             }
             mb.recv_exact(p - 1).into_iter().map(|(_, v)| v).collect()
-        });
+        })
+        .expect("fault-free run");
         for (r, got) in results.iter().enumerate() {
             let expect: Vec<u64> = (0..8)
                 .filter(|&s| s != r)
@@ -439,7 +676,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
-        run_spmd::<u64, (), _>(0, |_mb| {});
+        let _ = run_spmd::<u64, (), _>(0, |_mb| {});
     }
 
     #[test]
@@ -451,7 +688,8 @@ mod tests {
                 .map(|k| (((r + 1 + k) % mb.num_ranks()), (r as u64, k as u64)))
                 .collect();
             mb.exchange(outgoing)
-        });
+        })
+        .expect("fault-free run");
         let total: usize = results.iter().map(Vec::len).sum();
         assert_eq!(total, (0..6).sum::<usize>());
         for inbox in &results {
@@ -473,7 +711,8 @@ mod tests {
             let concat = mb.allgatherv(vec![r; mb.rank()]);
             mb.barrier();
             (gathered, concat)
-        });
+        })
+        .expect("fault-free run");
         let expect_concat: Vec<u64> = (0..5u64).flat_map(|r| vec![r; r as usize]).collect();
         for (gathered, concat) in results {
             assert_eq!(gathered, vec![0, 7, 14, 21, 28]);
@@ -485,7 +724,7 @@ mod tests {
     fn panicking_rank_fails_the_run_promptly() {
         for p in [1usize, 2, 4, 8] {
             let start = Instant::now();
-            let result = catch_unwind(|| {
+            let err =
                 run_spmd_with_timeout::<u64, (), _>(p, Duration::from_secs(20), move |mut mb| {
                     if mb.rank() == p / 2 {
                         panic!("injected failure on rank {}", p / 2);
@@ -493,17 +732,13 @@ mod tests {
                     // everyone else waits for a message that never comes
                     let _ = mb.recv_exact(1);
                 })
-            });
-            assert!(result.is_err(), "p={p}: run must fail");
-            let msg = result
-                .unwrap_err()
-                .downcast::<String>()
-                .map(|s| *s)
-                .unwrap_or_default();
-            assert!(
-                msg.contains("injected failure"),
-                "p={p}: original panic payload must win, got {msg:?}"
-            );
+                .expect_err("run must fail");
+            match &err.cause {
+                FailureCause::Panic(msg) => {
+                    assert!(msg.contains("injected failure"), "p={p}: got {msg:?}")
+                }
+                other => panic!("p={p}: expected Panic cause, got {other:?}"),
+            }
             assert!(
                 start.elapsed() < Duration::from_secs(15),
                 "p={p}: failure must propagate promptly, took {:?}",
@@ -513,15 +748,87 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_times_out_instead_of_hanging() {
+    fn deadlock_times_out_with_structured_detail() {
         let start = Instant::now();
-        let result = catch_unwind(|| {
-            run_spmd_with_timeout::<u64, (), _>(2, Duration::from_millis(200), |mut mb| {
-                // both ranks wait forever: nothing is ever sent
-                let _ = mb.recv_exact(1);
-            })
-        });
-        assert!(result.is_err());
+        let err = run_spmd_with_timeout::<u64, (), _>(2, Duration::from_millis(200), |mut mb| {
+            // both ranks wait forever: nothing is ever sent
+            let _ = mb.recv_exact(1);
+        })
+        .expect_err("deadlock must fail");
         assert!(start.elapsed() < Duration::from_secs(10));
+        assert!(err.is_timeout(), "got {err:?}");
+        assert!(err.rank.is_some(), "timeout must name a rank");
+        let FailureCause::Timeout(detail) = &err.cause else {
+            panic!("expected timeout cause");
+        };
+        assert_eq!(detail.operation, "recv_exact");
+        assert_eq!(detail.expected, 1);
+        assert_eq!(detail.received, 0);
+        assert!(detail.waited >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn injected_kill_names_the_rank() {
+        let plan = Arc::new(FaultPlan::new(3).kill(2, 0));
+        let start = Instant::now();
+        let err =
+            run_spmd_with::<u64, (), _>(8, Duration::from_secs(20), Some((plan, 0)), |mut mb| {
+                mb.barrier();
+            })
+            .expect_err("killed run must fail");
+        assert!(err.is_injected_kill(), "got {err:?}");
+        assert_eq!(err.rank, Some(2));
+        assert_eq!(err.epoch, Some(0));
+        assert!(start.elapsed() < Duration::from_secs(15));
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted() {
+        // Every send from every rank is dropped on first attempt; the
+        // backoff loop retransmits and the exchange still completes with
+        // the fault-free result.
+        let noisy = Arc::new(FaultPlan::new(11).with_noise(FaultNoise {
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            reorder_prob: 0.0,
+            drop_prob: 1.0,
+        }));
+        let program = |mut mb: Mailbox<u64>| {
+            let p = mb.num_ranks();
+            let outgoing: Vec<(usize, u64)> = (0..p)
+                .map(|to| (to, (mb.rank() * 100 + to) as u64))
+                .collect();
+            mb.exchange(outgoing)
+        };
+        let clean = run_spmd::<u64, _, _>(4, program).expect("clean run");
+        let faulty =
+            run_spmd_with::<u64, _, _>(4, Duration::from_secs(20), Some((noisy, 0)), program)
+                .expect("drops must recover via retransmission");
+        assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn benign_noise_preserves_results() {
+        let program = |mut mb: Mailbox<u64>| {
+            let p = mb.num_ranks();
+            let outgoing: Vec<(usize, u64)> = (0..p)
+                .flat_map(|to| {
+                    let r = mb.rank() as u64;
+                    (0..3).map(move |k| (to, r * 1000 + k))
+                })
+                .collect();
+            let inbox = mb.exchange(outgoing);
+            let sum = mb.allgather(inbox.iter().map(|(_, v)| v).sum::<u64>());
+            mb.barrier();
+            (inbox, sum)
+        };
+        let clean = run_spmd::<u64, _, _>(6, program).expect("clean run");
+        for seed in [1u64, 2, 3] {
+            let plan = Arc::new(FaultPlan::benign(seed));
+            let noisy =
+                run_spmd_with::<u64, _, _>(6, Duration::from_secs(30), Some((plan, 0)), program)
+                    .expect("benign plan must not fail the run");
+            assert_eq!(clean, noisy, "seed {seed} changed results");
+        }
     }
 }

@@ -17,16 +17,22 @@
 //!   reductions associate identically;
 //! * ranks share no mutable state between synchronization points.
 //!
-//! Failure semantics come from the mailbox layer: a panicking rank poisons
-//! its peers and every entry point re-raises the *root* panic within
-//! bounded time (see [`crate::threaded`]).
+//! Failure semantics come from the mailbox layer: a failing rank poisons
+//! its peers and every entry point returns the *root* failure as a typed
+//! [`SpmdError`] within bounded time (see [`crate::threaded`]).  An
+//! installed [`FaultPlan`] is threaded into every rank's mailbox as a
+//! per-(rank, epoch) [`FaultSession`](crate::fault::FaultSession), so
+//! this engine honors benign wire faults *and* kills.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::config::MachineConfig;
 use crate::engine::SpmdEngine;
+use crate::error::SpmdError;
+use crate::fault::FaultPlan;
 use crate::machine::{ExecMode, Outbox, PhaseCtx};
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
@@ -54,6 +60,9 @@ pub struct ThreadedMachine<S> {
     /// Accumulated per-superstep maximum rank compute wall seconds.
     compute_wall_s: f64,
     timeout: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
+    fault_epoch: u64,
+    supersteps: u64,
 }
 
 impl<S: Send> ThreadedMachine<S> {
@@ -76,6 +85,9 @@ impl<S: Send> ThreadedMachine<S> {
             elapsed_wall_s: 0.0,
             compute_wall_s: 0.0,
             timeout: DEFAULT_RECV_TIMEOUT,
+            fault_plan: None,
+            fault_epoch: 0,
+            supersteps: 0,
         }
     }
 
@@ -87,20 +99,30 @@ impl<S: Send> ThreadedMachine<S> {
     }
 
     /// Run `f` on every rank, one scoped OS thread each, connected by a
-    /// fresh set of mailboxes.  Returns per-rank results in rank order
-    /// plus the operation's wall time.
-    ///
-    /// # Panics
-    /// Re-raises the root panic if any rank panics (peers are poisoned so
-    /// the call never hangs).
-    fn run_ranks<M, R, F>(&mut self, f: F) -> (Vec<R>, Duration)
+    /// fresh set of mailboxes carrying this engine's fault sessions.
+    /// Returns per-rank results in rank order plus the operation's wall
+    /// time, or the root failure with phase/superstep context attached
+    /// (peers are poisoned so the call never hangs).
+    fn run_ranks<M, R, F>(
+        &mut self,
+        phase: PhaseKind,
+        f: F,
+    ) -> Result<(Vec<R>, Duration), SpmdError>
     where
         M: Send,
         R: Send,
         F: Fn(usize, &mut S, Mailbox<M>) -> R + Sync,
     {
+        let step = self.supersteps;
+        self.supersteps += 1;
+        let epoch = self.fault_epoch;
         let start = Instant::now();
-        let mailboxes = make_mailboxes::<M>(self.cfg.ranks, self.timeout);
+        let mut mailboxes = make_mailboxes::<M>(self.cfg.ranks, self.timeout);
+        if let Some(plan) = &self.fault_plan {
+            for (rank, mb) in mailboxes.iter_mut().enumerate() {
+                mb.set_fault(Some(plan.session(rank, epoch, phase)));
+            }
+        }
         let f = &f;
         let outcomes: Vec<_> = thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -128,8 +150,8 @@ impl<S: Send> ThreadedMachine<S> {
                 .collect()
         });
         match resolve_rank_results(outcomes) {
-            Ok(results) => (results, start.elapsed()),
-            Err(payload) => resume_unwind(payload),
+            Ok(results) => Ok((results, start.elapsed())),
+            Err(err) => Err(err.in_phase(phase, step, epoch)),
         }
     }
 
@@ -199,7 +221,28 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         &mut self.stats
     }
 
-    fn superstep<M, F, G>(&mut self, phase: PhaseKind, compute: F, deliver: G)
+    fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault_plan = plan;
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone()
+    }
+
+    fn set_fault_epoch(&mut self, epoch: u64) {
+        self.fault_epoch = epoch;
+    }
+
+    fn fault_epoch(&self) -> u64 {
+        self.fault_epoch
+    }
+
+    fn superstep<M, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        compute: F,
+        deliver: G,
+    ) -> Result<(), SpmdError>
     where
         M: Payload,
         F: Fn(usize, &mut S, &mut PhaseCtx, &mut Outbox<M>) + Sync,
@@ -208,7 +251,7 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         let p = self.cfg.ranks;
         let compute = &compute;
         let deliver = &deliver;
-        let (reports, wall) = self.run_ranks::<M, RankReport, _>(move |r, s, mut mb| {
+        let (reports, wall) = self.run_ranks::<M, RankReport, _>(phase, move |r, s, mut mb| {
             let t0 = Instant::now();
             let mut ctx = PhaseCtx::default();
             let mut outbox = Outbox::new(p);
@@ -244,7 +287,7 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
                 recv_msgs,
                 recv_bytes,
             }
-        });
+        })?;
 
         let wall_s = wall.as_secs_f64();
         let max_compute_s = reports
@@ -265,9 +308,16 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
             max_comm_s: (wall_s - max_compute_s).max(0.0),
             elapsed_s: wall_s,
         });
+        Ok(())
     }
 
-    fn allgather<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    fn allgather<T, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        bytes_per_item: usize,
+        extract: F,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> T + Sync,
@@ -275,14 +325,21 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
     {
         let extract = &extract;
         let apply = &apply;
-        let (_, wall) = self.run_ranks::<T, (), _>(move |r, s, mut mb| {
+        let (_, wall) = self.run_ranks::<T, (), _>(phase, move |r, s, mut mb| {
             let all = mb.allgather(extract(r, s));
             apply(r, s, &all);
-        });
+        })?;
         self.push_collective_stats(phase, bytes_per_item, wall);
+        Ok(())
     }
 
-    fn allgatherv<T, F, G>(&mut self, phase: PhaseKind, bytes_per_item: usize, extract: F, apply: G)
+    fn allgatherv<T, F, G>(
+        &mut self,
+        phase: PhaseKind,
+        bytes_per_item: usize,
+        extract: F,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> Vec<T> + Sync,
@@ -290,18 +347,25 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
     {
         let extract = &extract;
         let apply = &apply;
-        let (lens, wall) = self.run_ranks::<T, usize, _>(move |r, s, mut mb| {
+        let (lens, wall) = self.run_ranks::<T, usize, _>(phase, move |r, s, mut mb| {
             let part = extract(r, s);
             let share = part.len();
             let concat = mb.allgatherv(part);
             apply(r, s, &concat);
             share
-        });
+        })?;
         let max_share = lens.into_iter().max().unwrap_or(0);
         self.push_collective_stats(phase, max_share * bytes_per_item, wall);
+        Ok(())
     }
 
-    fn allreduce<T, F, R, G>(&mut self, phase: PhaseKind, extract: F, reduce: R, apply: G)
+    fn allreduce<T, F, R, G>(
+        &mut self,
+        phase: PhaseKind,
+        extract: F,
+        reduce: R,
+        apply: G,
+    ) -> Result<(), SpmdError>
     where
         T: Clone + Send,
         F: Fn(usize, &S) -> T + Sync,
@@ -311,7 +375,7 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         let extract = &extract;
         let reduce = &reduce;
         let apply = &apply;
-        let (_, wall) = self.run_ranks::<T, (), _>(move |r, s, mut mb| {
+        let (_, wall) = self.run_ranks::<T, (), _>(phase, move |r, s, mut mb| {
             // gather everyone's value, fold in rank order locally: the
             // same association order as the modeled machine, so
             // floating-point results are bit-identical.
@@ -319,8 +383,9 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
             let first = it.next().expect("machine has at least one rank");
             let folded = it.fold(first, reduce);
             apply(r, s, &folded);
-        });
+        })?;
         self.push_collective_stats(phase, 8, wall);
+        Ok(())
     }
 
     fn allreduce_elementwise<T, F, R, G>(
@@ -330,7 +395,8 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         extract: F,
         reduce: R,
         apply: G,
-    ) where
+    ) -> Result<(), SpmdError>
+    where
         T: Clone + Send,
         F: Fn(usize, &S) -> Vec<T> + Sync,
         R: Fn(&T, &T) -> T + Sync,
@@ -339,7 +405,7 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         let extract = &extract;
         let reduce = &reduce;
         let apply = &apply;
-        let (_, wall) = self.run_ranks::<Vec<T>, (), _>(move |r, s, mut mb| {
+        let (_, wall) = self.run_ranks::<Vec<T>, (), _>(phase, move |r, s, mut mb| {
             let mut parts = mb.allgather(extract(r, s)).into_iter();
             let mut acc = parts.next().expect("machine has at least one rank");
             for v in parts {
@@ -349,7 +415,7 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
                 }
             }
             apply(r, s, &acc);
-        });
+        })?;
         // Mirror the modeled machine's pipelined-tree accounting.
         let p = self.cfg.ranks;
         let stages = self.cfg.topology.collective_stages(p) as u64;
@@ -367,11 +433,14 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
             max_comm_s: wall_s,
             elapsed_s: wall_s,
         });
+        Ok(())
     }
 
-    fn barrier(&mut self) {
-        let (_, wall) = self.run_ranks::<(), (), _>(|_r, _s, mut mb| mb.barrier());
+    fn barrier(&mut self) -> Result<(), SpmdError> {
+        let (_, wall) =
+            self.run_ranks::<(), (), _>(PhaseKind::Other, |_r, _s, mut mb| mb.barrier())?;
         self.elapsed_wall_s += wall.as_secs_f64();
+        Ok(())
     }
 }
 
@@ -415,7 +484,8 @@ mod tests {
                             *s = s.wrapping_add(msg[0]).wrapping_mul(from as u64 | 1);
                         }
                     },
-                );
+                )
+                .expect("fault-free superstep");
             }
         }
         assert_eq!(run_modeled(), run_threaded());
@@ -433,7 +503,8 @@ mod tests {
                     ob.send(r, vec![9.0]); // self-message: free
                 },
                 |_, _, _, _| {},
-            );
+            )
+            .expect("fault-free superstep");
         }
         program(&mut modeled);
         program(&mut threaded);
@@ -455,27 +526,31 @@ mod tests {
                 8,
                 |r, _s| r as f64 * 0.1,
                 |_r, s, all: &[f64]| s.1 = all.to_vec(),
-            );
+            )
+            .expect("allgather");
             m.allgatherv(
                 PhaseKind::Setup,
                 8,
                 |r, s| vec![s.0 + r as f64; r],
                 |_r, s, concat: &[f64]| s.1.extend_from_slice(concat),
-            );
+            )
+            .expect("allgatherv");
             m.allreduce(
                 PhaseKind::Other,
                 |_r, s| s.0,
                 |a, b| a + b * 1.0000001,
                 |_r, s, &v| s.0 = v,
-            );
+            )
+            .expect("allreduce");
             m.allreduce_elementwise(
                 PhaseKind::Other,
                 8,
                 |r, _s| vec![r as f64, 1.0 / (r as f64 + 1.0)],
                 |a, b| a + b,
                 |_r, s, acc| s.1.extend_from_slice(acc),
-            );
-            m.barrier();
+            )
+            .expect("allreduce_elementwise");
+            m.barrier().expect("barrier");
             m.ranks().to_vec()
         }
         let states = |p: usize| (0..p).map(|r| (r as f64 * 0.31, Vec::new())).collect();
@@ -494,26 +569,59 @@ mod tests {
     }
 
     #[test]
-    fn panic_in_compute_half_propagates() {
+    fn panic_in_compute_half_becomes_typed_error() {
         let mut m =
             ThreadedMachine::new(tiny(4), vec![0u64; 4]).with_timeout(Duration::from_secs(10));
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            m.superstep(
-                PhaseKind::Other,
+        let err = m
+            .superstep(
+                PhaseKind::Push,
                 |r, _s, _ctx, _ob: &mut Outbox<Vec<u64>>| {
                     if r == 2 {
                         panic!("compute exploded on rank 2");
                     }
                 },
                 |_, _, _, _| {},
-            );
-        }));
-        let payload = result.unwrap_err();
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(msg.contains("compute exploded"), "got {msg:?}");
+            )
+            .expect_err("panicking rank must fail the superstep");
+        assert_eq!(err.phase, Some(PhaseKind::Push));
+        assert_eq!(err.superstep, Some(0));
+        match &err.cause {
+            crate::error::FailureCause::Panic(msg) => {
+                assert!(msg.contains("compute exploded"), "got {msg:?}")
+            }
+            other => panic!("expected Panic cause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_kill_carries_phase_and_epoch() {
+        let mut m =
+            ThreadedMachine::new(tiny(4), vec![0u64; 4]).with_timeout(Duration::from_secs(10));
+        m.set_fault_plan(Some(Arc::new(FaultPlan::new(1).kill(1, 7))));
+        m.set_fault_epoch(6);
+        m.barrier().expect("epoch 6: no fault armed");
+        m.set_fault_epoch(7);
+        let err = m.barrier().expect_err("epoch 7: rank 1 must die");
+        assert!(err.is_injected_kill());
+        assert_eq!(err.rank, Some(1));
+        assert_eq!(err.epoch, Some(7));
+        // the kill is one-shot: a restarted epoch runs clean
+        m.barrier().expect("kill must not re-fire");
+    }
+
+    #[test]
+    fn modeled_machine_honors_kill_faults_identically() {
+        let mut m = crate::Machine::new(tiny(4), ExecMode::Sequential, vec![0u64; 4]);
+        SpmdEngine::set_fault_plan(&mut m, Some(Arc::new(FaultPlan::new(1).kill(2, 3))));
+        SpmdEngine::set_fault_epoch(&mut m, 3);
+        // qualified call: the inherent (panicking) `local_step` would
+        // otherwise shadow the trait method
+        let err = SpmdEngine::local_step(&mut m, PhaseKind::Push, |_r, _s, _ctx| {})
+            .expect_err("kill must fire on the modeled machine too");
+        assert!(err.is_injected_kill());
+        assert_eq!(err.rank, Some(2));
+        assert_eq!(err.phase, Some(PhaseKind::Push));
+        SpmdEngine::local_step(&mut m, PhaseKind::Push, |_r, _s, _ctx| {})
+            .expect("one-shot: second attempt runs clean");
     }
 }

@@ -146,7 +146,8 @@ fn threaded_executor_matches_bsp_machine() {
             }
         }
         mb.recv_exact(p - 1).into_iter().map(|(_, v)| v).sum()
-    });
+    })
+    .expect("fault-free run");
 
     let mut m = Machine::new(cfg(p), ExecMode::Sequential, vec![0u64; p]);
     m.superstep(

@@ -38,7 +38,8 @@ proptest! {
                 8,
                 |_r, s| s.0.clone(),
                 |_r, s, concat: &[u64]| s.1 = concat.to_vec(),
-            );
+            )
+            .expect("fault-free allgatherv");
         }
         let states: Vec<(Vec<u64>, Vec<u64>)> = (0..p)
             .map(|r| {
@@ -65,7 +66,8 @@ proptest! {
                 |_r, s| s.0,
                 |a, b| a + b * 1.000000119,
                 |_r, s, &v| s.1 = v,
-            );
+            )
+            .expect("fault-free allreduce");
         }
         let states: Vec<(f64, f64)> =
             (0..p).map(|r| (vals[r % vals.len()] + r as f64 * 0.37, 0.0)).collect();
@@ -95,7 +97,8 @@ proptest! {
                     let n = s.len();
                     s.clone_from_slice(&acc[..n]);
                 },
-            );
+            )
+            .expect("fault-free allreduce_elementwise");
         }
         let states: Vec<Vec<f64>> = (0..p)
             .map(|r| {
@@ -140,7 +143,8 @@ proptest! {
                         s.extend_from_slice(&msg);
                     }
                 },
-            );
+            )
+            .expect("fault-free superstep");
         }
         let states = vec![Vec::<u64>::new(); p];
         let mut modeled = Machine::new(cfg(p), ExecMode::Sequential, states.clone());

@@ -37,7 +37,7 @@ pub use bucket::{sorted_order, BucketIncrementalSorter, IncrementalClassificatio
 pub use key::{assign_keys, cell_of, particle_key};
 pub use metrics::{alignment_report, AlignmentReport};
 pub use policy::{DynamicSarPolicy, PeriodicPolicy, StaticPolicy};
-pub use policy::{PolicyKind, RedistributionPolicy};
+pub use policy::{PolicyKind, PolicyState, RedistributionPolicy};
 pub use sample_sort::{
     classify_by_bounds, rank_bounds_from_sorted, regular_sample, select_splitters,
 };

@@ -13,6 +13,24 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Serializable snapshot of a policy's mutable decision state, so a
+/// checkpointed simulation resumes with the same redistribution
+/// behaviour it would have had uninterrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyState {
+    /// The policy keeps no mutable state (static, periodic).
+    Stateless,
+    /// Stop-At-Rise bookkeeping (see [`DynamicSarPolicy`]).
+    DynamicSar {
+        /// Iteration of the last redistribution.
+        i0: usize,
+        /// Post-redistribution baseline iteration time, if observed.
+        t0: Option<f64>,
+        /// Cost estimate for the next redistribution.
+        redist_cost: f64,
+    },
+}
+
 /// Decides when the particles should be redistributed.
 pub trait RedistributionPolicy: Send {
     /// Called after every iteration with the iteration's execution time;
@@ -22,6 +40,15 @@ pub trait RedistributionPolicy: Send {
     /// Called after each redistribution completes, with its cost; also
     /// called once after the initial distribution (iteration 0).
     fn notify_redistributed(&mut self, iter: usize, cost_s: f64);
+
+    /// Snapshot the mutable decision state for a checkpoint.
+    fn snapshot_state(&self) -> PolicyState {
+        PolicyState::Stateless
+    }
+
+    /// Restore state captured by [`RedistributionPolicy::snapshot_state`].
+    /// A mismatched variant is ignored (the policy keeps its defaults).
+    fn restore_state(&mut self, _state: &PolicyState) {}
 }
 
 /// Runtime-selectable policy configuration.
@@ -148,6 +175,27 @@ impl RedistributionPolicy for DynamicSarPolicy {
         self.i0 = iter;
         self.t0 = None;
         self.redist_cost = cost_s;
+    }
+
+    fn snapshot_state(&self) -> PolicyState {
+        PolicyState::DynamicSar {
+            i0: self.i0,
+            t0: self.t0,
+            redist_cost: self.redist_cost,
+        }
+    }
+
+    fn restore_state(&mut self, state: &PolicyState) {
+        if let PolicyState::DynamicSar {
+            i0,
+            t0,
+            redist_cost,
+        } = *state
+        {
+            self.i0 = i0;
+            self.t0 = t0;
+            self.redist_cost = redist_cost;
+        }
     }
 }
 
