@@ -6,7 +6,7 @@
 //! Lagrangian particle subdomains smear; periodic curves are sawtooths
 //! that reset at every redistribution.
 
-use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_bench::{iters_from_args, paper_cfg, series_summary, write_csv};
 use pic_core::ParallelPicSim;
 use pic_index::IndexScheme;
 use pic_particles::ParticleDistribution;
@@ -49,21 +49,20 @@ fn main() {
 
     println!("Figure 17: per-iteration execution time (modeled ms)\n");
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>10}",
-        "policy", "first 5%", "last 5%", "peak", "rise"
+        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "first 5%", "last 5%", "p50", "p95", "peak", "rise"
     );
-    let window = (iters / 20).max(1);
     for (policy, s) in policies.iter().zip(&series) {
-        let head = s[..window].iter().sum::<f64>() / window as f64;
-        let tail = s[iters - window..].iter().sum::<f64>() / window as f64;
-        let peak = s.iter().copied().fold(0.0f64, f64::max);
+        let sum = series_summary(s);
         println!(
-            "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>9.1}%",
+            "{:<16} {:>12.3} {:>12.3} {:>10.3} {:>10.3} {:>10.3} {:>9.1}%",
             policy.label(),
-            head * 1e3,
-            tail * 1e3,
-            peak * 1e3,
-            100.0 * (tail / head - 1.0)
+            sum.head * 1e3,
+            sum.tail * 1e3,
+            sum.p50 * 1e3,
+            sum.p95 * 1e3,
+            sum.peak * 1e3,
+            sum.rise_pct()
         );
     }
     println!("\n(static must rise; periodic stays near its post-redistribution floor)\n");

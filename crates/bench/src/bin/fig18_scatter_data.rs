@@ -6,7 +6,7 @@
 //! keeps growing; with periodic redistribution it drops back after every
 //! redistribution.
 
-use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_bench::{iters_from_args, paper_cfg, series_summary_u64, write_csv};
 use pic_core::ParallelPicSim;
 use pic_index::IndexScheme;
 use pic_particles::ParticleDistribution;
@@ -59,19 +59,27 @@ fn main() {
 
     println!("Figure 18: max scatter-phase bytes sent/received by any processor\n");
     println!(
-        "{:<14} {:>14} {:>14} {:>14} {:>14}",
-        "policy", "sent first 5%", "sent last 5%", "recv first 5%", "recv last 5%"
+        "{:<14} {:>14} {:>14} {:>12} {:>12} {:>14} {:>14}",
+        "policy",
+        "sent first 5%",
+        "sent last 5%",
+        "sent p50",
+        "sent p95",
+        "recv first 5%",
+        "recv last 5%"
     );
-    let w = (iters / 20).max(1);
-    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
     for (k, policy) in policies.iter().enumerate() {
+        let s = series_summary_u64(&sent[k]);
+        let r = series_summary_u64(&recv[k]);
         println!(
-            "{:<14} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            "{:<14} {:>14.0} {:>14.0} {:>12.0} {:>12.0} {:>14.0} {:>14.0}",
             policy.label(),
-            avg(&sent[k][..w]),
-            avg(&sent[k][iters - w..]),
-            avg(&recv[k][..w]),
-            avg(&recv[k][iters - w..]),
+            s.head,
+            s.tail,
+            s.p50,
+            s.p95,
+            r.head,
+            r.tail,
         );
     }
     println!("\n(periodic redistribution keeps both flat; static grows)\n");

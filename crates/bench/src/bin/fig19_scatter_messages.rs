@@ -7,7 +7,7 @@
 //! its `p - 1` bound; redistribution pulls it back to the few genuine
 //! neighbours.
 
-use pic_bench::{iters_from_args, paper_cfg, write_csv};
+use pic_bench::{iters_from_args, paper_cfg, series_summary_u64, write_csv};
 use pic_core::ParallelPicSim;
 use pic_index::IndexScheme;
 use pic_particles::ParticleDistribution;
@@ -60,19 +60,21 @@ fn main() {
 
     println!("Figure 19: max scatter-phase messages sent/received by any processor\n");
     println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>12}",
-        "policy", "sent start", "sent end", "recv start", "recv end"
+        "{:<14} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "policy", "sent start", "sent end", "sent p50", "sent p95", "recv start", "recv end"
     );
-    let w = (iters / 20).max(1);
-    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
     for (k, policy) in policies.iter().enumerate() {
+        let s = series_summary_u64(&sent[k]);
+        let r = series_summary_u64(&recv[k]);
         println!(
-            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            "{:<14} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>12.1} {:>12.1}",
             policy.label(),
-            avg(&sent[k][..w]),
-            avg(&sent[k][iters - w..]),
-            avg(&recv[k][..w]),
-            avg(&recv[k][iters - w..]),
+            s.head,
+            s.tail,
+            s.p50,
+            s.p95,
+            r.head,
+            r.tail,
         );
     }
     println!("\n(the hard bound is p - 1 = 31 messages; static should approach it)");

@@ -1,0 +1,120 @@
+//! Observability acceptance benchmark: the cost of tracing a real
+//! 4-rank threaded run, plus the exported artifacts.
+//!
+//! Runs the same `ThreadedPicSim` workload twice — recorder off, then
+//! recorder on (JSON-lines file + in-memory buffer fan-out) — and
+//! reports the wall-clock overhead of tracing, which must stay under
+//! 5%: the whole point of the span layer is that it only aggregates
+//! per-superstep counters the executors already maintain, on the
+//! driving thread, never inside a rank thread.
+//!
+//! Artifacts written under `results/`:
+//!
+//! * `observability_overhead.csv` — the recorder-off/on comparison;
+//! * `trace_4rank.jsonl` — the raw JSON-lines event stream;
+//! * `chrome_trace_4rank.json` — load in `chrome://tracing` / Perfetto;
+//! * `observability_phase_metrics.csv` — per-phase p50/p95/max table.
+//!
+//! Usage: `observability_overhead [--iters N | --quick]`
+
+use std::time::Instant;
+
+use pic_bench::{iters_from_args, write_csv};
+use pic_core::{SimConfig, ThreadedPicSim};
+use pic_machine::trace::chrome_trace;
+use pic_machine::{
+    JsonLinesRecorder, MachineConfig, MemoryRecorder, MetricsReport, MultiRecorder, Recorder,
+    SharedRecorder, TraceEvent,
+};
+use pic_partition::PolicyKind;
+
+const RANKS: usize = 4;
+const REPEATS: usize = 3;
+
+fn bench_cfg() -> SimConfig {
+    SimConfig {
+        machine: MachineConfig::cm5(RANKS),
+        // enough per-iteration work that the run measures the simulation,
+        // not thread spawns: event volume scales with supersteps (a few
+        // dozen events per iteration), not with particles
+        particles: 32_768,
+        policy: PolicyKind::Periodic(10),
+        ..SimConfig::small_test()
+    }
+}
+
+/// Wall seconds for one full construct-and-run, with `recorder`
+/// installed from setup onward.
+fn run_once(iters: usize, recorder: Option<Box<dyn Recorder>>) -> f64 {
+    let start = Instant::now();
+    let mut sim = ThreadedPicSim::try_new_traced(bench_cfg(), None, recorder)
+        .expect("fault-free construction");
+    for _ in 0..iters {
+        sim.try_step().expect("fault-free iteration");
+    }
+    if let Some(rec) = sim.recorder_mut() {
+        rec.flush();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let iters = iters_from_args(40);
+    println!(
+        "Observability overhead: {RANKS}-rank threaded run, {iters} iterations, \
+         best of {REPEATS} repeats\n"
+    );
+
+    // recorder off: the plain run
+    let off_s = (0..REPEATS)
+        .map(|_| run_once(iters, None))
+        .fold(f64::INFINITY, f64::min);
+
+    // recorder on: JSON-lines file + in-memory buffer, re-created per
+    // repeat so every run pays the full setup; the last repeat's events
+    // feed the exporters
+    let mut on_s = f64::INFINITY;
+    let mut shared = SharedRecorder::new(MemoryRecorder::new());
+    for _ in 0..REPEATS {
+        std::fs::create_dir_all("results").expect("create results dir");
+        let file = JsonLinesRecorder::create("results/trace_4rank.jsonl")
+            .expect("create results/trace_4rank.jsonl");
+        shared = SharedRecorder::new(MemoryRecorder::new());
+        let rec = MultiRecorder::new()
+            .with(Box::new(file))
+            .with(Box::new(shared.clone()));
+        on_s = on_s.min(run_once(iters, Some(Box::new(rec))));
+    }
+    let events: Vec<TraceEvent> = shared.with(|rec| rec.take());
+
+    let overhead_pct = 100.0 * (on_s / off_s - 1.0);
+    println!("{:<22} {:>10.4} s", "recorder off", off_s);
+    println!("{:<22} {:>10.4} s", "recorder on", on_s);
+    println!(
+        "{:<22} {:>9.2} %  (acceptance: < 5%)",
+        "overhead", overhead_pct
+    );
+    println!("{:<22} {:>10}", "events captured", events.len());
+    write_csv(
+        "observability_overhead.csv",
+        "ranks,iters,repeats,recorder_off_s,recorder_on_s,overhead_pct",
+        &[format!(
+            "{RANKS},{iters},{REPEATS},{off_s:.6},{on_s:.6},{overhead_pct:.3}"
+        )],
+    );
+
+    // Chrome trace: one complete event per rank-span, instants for the
+    // driver events; load the file in chrome://tracing or Perfetto
+    std::fs::write("results/chrome_trace_4rank.json", chrome_trace(&events))
+        .expect("write chrome trace");
+    eprintln!("wrote results/chrome_trace_4rank.json");
+
+    // per-phase latency distribution, the observability layer's own view
+    let report = MetricsReport::from_events(&events);
+    println!("\n{}", report.render());
+    write_csv(
+        "observability_phase_metrics.csv",
+        MetricsReport::CSV_HEADER,
+        &report.csv_rows(),
+    );
+}

@@ -23,6 +23,8 @@
 //! All binaries accept `--iters N` to override the iteration count and
 //! `--quick` for a fast smoke configuration; defaults match the paper.
 
+#![warn(missing_docs)]
+
 pub mod chart;
 
 use std::fs;
@@ -95,6 +97,62 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
         writeln!(f, "{row}").expect("write row");
     }
     eprintln!("wrote {}", path.display());
+}
+
+/// Distribution summary of one per-iteration measurement series, shared
+/// by the figure binaries (head/tail windows show drift, the percentiles
+/// and peak come from [`pic_machine::trace::percentile`] so the bench
+/// tables agree with the observability layer's aggregation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Mean of the first 5% of iterations (at least one).
+    pub head: f64,
+    /// Mean of the last 5% of iterations (at least one).
+    pub tail: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub peak: f64,
+}
+
+impl SeriesSummary {
+    /// Relative drift of the tail window over the head window, in
+    /// percent (positive = the series grew).
+    pub fn rise_pct(&self) -> f64 {
+        if self.head == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.tail / self.head - 1.0)
+        }
+    }
+}
+
+/// Summarize a per-iteration series; see [`SeriesSummary`].
+///
+/// # Panics
+/// Panics on an empty series (figure series always have ≥ 1 iteration).
+pub fn series_summary(series: &[f64]) -> SeriesSummary {
+    assert!(!series.is_empty(), "cannot summarize an empty series");
+    let window = (series.len() / 20).max(1);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    SeriesSummary {
+        head: mean(&series[..window]),
+        tail: mean(&series[series.len() - window..]),
+        p50: pic_machine::trace::percentile(series, 0.50),
+        p95: pic_machine::trace::percentile(series, 0.95),
+        peak: series.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// [`series_summary`] over integer counters (bytes, message counts).
+///
+/// # Panics
+/// Panics on an empty series.
+pub fn series_summary_u64(series: &[u64]) -> SeriesSummary {
+    let as_f: Vec<f64> = series.iter().map(|&v| v as f64).collect();
+    series_summary(&as_f)
 }
 
 /// Total modeled sequential execution time for `iters` iterations of a
@@ -202,6 +260,26 @@ mod tests {
         let expect = 200.0 * (32_768.0 * 240.0 + 32_768.0 * 90.0) * 1e-6;
         let got = sequential_modeled_time(&cfg, 200);
         assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn series_summary_windows_and_percentiles() {
+        let series: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = series_summary(&series);
+        // 5% windows: first/last five values
+        assert!((s.head - 3.0).abs() < 1e-12);
+        assert!((s.tail - 98.0).abs() < 1e-12);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!(s.p95 > 95.0 && s.p95 < 96.0);
+        assert!((s.peak - 100.0).abs() < 1e-12);
+        assert!(s.rise_pct() > 3000.0);
+    }
+
+    #[test]
+    fn series_summary_u64_matches_f64_path() {
+        let ints = [5u64, 1, 3, 2, 4];
+        let floats = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(series_summary_u64(&ints), series_summary(&floats));
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! assert!(report.total_s > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod checkpoint;
 pub mod config;
@@ -57,7 +59,7 @@ pub use config::{DedupKind, MovementMethod, SimConfig};
 pub use diagnostics::EnergyReport;
 pub use electrostatic::ElectrostaticPicSim;
 pub use ghost::{DirectTableAccumulator, GhostAccumulator, HashTableAccumulator};
-pub use recovery::{run_with_recovery, RecoveryOutcome};
+pub use recovery::{run_with_recovery, run_with_recovery_traced, RecoveryOutcome};
 pub use replicated::ReplicatedGridPicSim;
 pub use sequential::SequentialPicSim;
 pub use sim::{

@@ -18,7 +18,9 @@
 
 use std::sync::Arc;
 
-use pic_machine::{FaultPlan, SpmdEngine, SpmdError};
+use pic_machine::{
+    CheckpointAction, CheckpointEvent, FaultPlan, Recorder, SpmdEngine, SpmdError, TraceEvent,
+};
 
 use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
@@ -58,8 +60,31 @@ pub fn run_with_recovery<E: SpmdEngine<RankState>>(
     plan: Option<Arc<FaultPlan>>,
     max_restarts: usize,
 ) -> Result<RecoveryOutcome<E>, SpmdError> {
-    let mut sim = GenericPicSim::<E>::try_new_with(cfg.clone(), plan.clone())?;
+    run_with_recovery_traced(cfg, iterations, checkpoint_every, plan, max_restarts, None)
+}
+
+/// [`run_with_recovery`] with an observability [`Recorder`] installed
+/// for the whole protected run.  The recorder sees everything the plain
+/// recovery loop does *plus* the recovery story itself: a
+/// [`CheckpointEvent`] for every snapshot saved and restored (fault
+/// events are emitted by the driver at the failing iteration).  On
+/// restart the recorder is carried from the dead simulation into the
+/// resumed one, so the whole protected run lands in one event stream.
+///
+/// # Errors
+/// Returns the error of the failure that exhausted `max_restarts`, or
+/// of a failed initial distribution (nothing to restart from).
+pub fn run_with_recovery_traced<E: SpmdEngine<RankState>>(
+    cfg: SimConfig,
+    iterations: usize,
+    checkpoint_every: usize,
+    plan: Option<Arc<FaultPlan>>,
+    max_restarts: usize,
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<RecoveryOutcome<E>, SpmdError> {
+    let mut sim = GenericPicSim::<E>::try_new_traced(cfg.clone(), plan.clone(), recorder)?;
     let mut latest = sim.checkpoint().encode();
+    emit_checkpoint(&mut sim, 0, latest.len(), CheckpointAction::Saved);
     let mut records: Vec<IterationRecord> = Vec::with_capacity(iterations);
     let mut restarts = 0;
     let mut failures = Vec::new();
@@ -71,6 +96,7 @@ pub fn run_with_recovery<E: SpmdEngine<RankState>>(
                 let done = sim.iterations_done();
                 if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) {
                     latest = sim.checkpoint().encode();
+                    emit_checkpoint(&mut sim, done as u64, latest.len(), CheckpointAction::Saved);
                 }
             }
             Err(err) => {
@@ -88,7 +114,10 @@ pub fn run_with_recovery<E: SpmdEngine<RankState>>(
                 if let Some(p) = &plan {
                     fresh.set_fault_plan(Some(Arc::clone(p)));
                 }
+                // carry the event stream into the resumed simulation
+                fresh.set_recorder(sim.take_recorder());
                 sim = fresh;
+                emit_checkpoint(&mut sim, ck.iter, latest.len(), CheckpointAction::Restored);
             }
         }
     }
@@ -99,4 +128,20 @@ pub fn run_with_recovery<E: SpmdEngine<RankState>>(
         restarts,
         failures,
     })
+}
+
+/// Emit one checkpoint event to the simulation's recorder, if any.
+fn emit_checkpoint<E: SpmdEngine<RankState>>(
+    sim: &mut GenericPicSim<E>,
+    iter: u64,
+    bytes: usize,
+    action: CheckpointAction,
+) {
+    if let Some(rec) = sim.recorder_mut() {
+        rec.record(&TraceEvent::Checkpoint(CheckpointEvent {
+            iter,
+            bytes: bytes as u64,
+            action,
+        }));
+    }
 }

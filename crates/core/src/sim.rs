@@ -5,8 +5,9 @@ use std::sync::Arc;
 use pic_field::{HaloPlan, MaxwellSolver};
 use pic_index::CellIndexer;
 use pic_machine::{
-    FailureCause, FaultPlan, Machine, PhaseKind, SpmdEngine, SpmdError, StatsLog, SuperstepStats,
-    ThreadedMachine,
+    FailureCause, FaultEvent, FaultPlan, IterationEvent, Machine, PhaseKind, Recorder,
+    RedistributionEvent, RedistributionTrigger, SpmdEngine, SpmdError, StatsLog, SuperstepStats,
+    ThreadedMachine, TraceEvent,
 };
 use pic_partition::{sfc_block_layout, RedistributionPolicy};
 use serde::{Deserialize, Serialize};
@@ -233,7 +234,27 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
     /// # Panics
     /// Panics on an invalid configuration.
     pub fn try_new_with(cfg: SimConfig, plan: Option<Arc<FaultPlan>>) -> Result<Self, SpmdError> {
+        Self::try_new_traced(cfg, plan, None)
+    }
+
+    /// [`GenericPicSim::try_new_with`] with an observability
+    /// [`Recorder`] installed *before* the initial distribution, so the
+    /// setup collectives and the setup [`RedistributionEvent`] land in
+    /// the trace too (a recorder installed later via
+    /// [`GenericPicSim::set_recorder`] misses them).
+    ///
+    /// # Errors
+    /// Returns the [`SpmdError`] when the initial distribution fails.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn try_new_traced(
+        cfg: SimConfig,
+        plan: Option<Arc<FaultPlan>>,
+        recorder: Option<Box<dyn Recorder>>,
+    ) -> Result<Self, SpmdError> {
         let mut sim = Self::construct(cfg, true);
+        sim.machine.set_recorder(recorder);
         sim.machine.set_fault_plan(plan);
         sim.machine.set_fault_epoch(0);
         // initial distribution (also under Eulerian: a one-time spatial
@@ -249,7 +270,40 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         sim.setup_s = cost;
         sim.policy.notify_redistributed(0, cost);
         sim.breakdown.absorb(&sim.machine.stats_mut().drain());
+        sim.emit(TraceEvent::Redistribution(RedistributionEvent {
+            iter: 0,
+            trigger: RedistributionTrigger::Setup,
+            cost_s: cost,
+        }));
         Ok(sim)
+    }
+
+    /// Forward one driver-level event to the executor's recorder, if any.
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(rec) = self.machine.recorder_mut() {
+            rec.record(&event);
+        }
+    }
+
+    /// Install (or clear) an observability sink on the executor.  All
+    /// subsequent supersteps, collectives, and driver events (iterations,
+    /// redistributions, faults) are emitted to it; see
+    /// [`pic_machine::trace`].  To also capture setup, use
+    /// [`GenericPicSim::try_new_traced`].
+    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        self.machine.set_recorder(recorder);
+    }
+
+    /// Remove and return the installed recorder (flush it or hand it to a
+    /// resumed simulation).
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.machine.take_recorder()
+    }
+
+    /// Mutable access to the installed recorder, if any (callers can
+    /// flush it or append their own events to the stream).
+    pub fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)> {
+        self.machine.recorder_mut()
     }
 
     /// [`GenericPicSim::try_new`], panicking on failure (the historical
@@ -336,6 +390,34 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
     /// kill, timeout) or an invariant guard trips.  The simulation must
     /// then be considered lost: resume from a checkpoint.
     pub fn try_step(&mut self) -> Result<IterationRecord, SpmdError> {
+        match self.try_step_inner() {
+            Ok(rec) => {
+                self.emit(TraceEvent::Iteration(IterationEvent {
+                    iter: rec.iter as u64,
+                    time_s: rec.time_s,
+                    compute_s: rec.compute_s,
+                    comm_s: rec.comm_s,
+                    max_particles: rec.max_particles as u64,
+                    min_particles: rec.min_particles as u64,
+                }));
+                Ok(rec)
+            }
+            Err(err) => {
+                self.emit(TraceEvent::Fault(FaultEvent {
+                    rank: err.rank,
+                    phase: err.phase,
+                    superstep: err.superstep,
+                    epoch: err.epoch,
+                    cause: err.cause.to_string(),
+                }));
+                Err(err)
+            }
+        }
+    }
+
+    /// The body of [`GenericPicSim::try_step`]; split out so the wrapper
+    /// can emit the trace outcome (iteration or fault) in one place.
+    fn try_step_inner(&mut self) -> Result<IterationRecord, SpmdError> {
         self.iter += 1;
         self.machine.set_fault_epoch(self.iter as u64);
         // conservation reference: what the iteration starts with (tests
@@ -391,6 +473,11 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             self.redistribute_total_s += redistribute_s;
             redistributed = true;
             self.breakdown.absorb(&self.machine.stats_mut().drain());
+            self.emit(TraceEvent::Redistribution(RedistributionEvent {
+                iter: self.iter as u64,
+                trigger: RedistributionTrigger::Policy,
+                cost_s: redistribute_s,
+            }));
         }
 
         let counts: Vec<usize> = self.machine.ranks().iter().map(RankState::len).collect();
@@ -570,6 +657,11 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         self.redistributions += 1;
         self.redistribute_total_s += cost;
         self.breakdown.absorb(&self.machine.stats_mut().drain());
+        self.emit(TraceEvent::Redistribution(RedistributionEvent {
+            iter: self.iter as u64,
+            trigger: RedistributionTrigger::Forced,
+            cost_s: cost,
+        }));
         Ok(cost)
     }
 

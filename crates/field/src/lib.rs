@@ -26,6 +26,8 @@
 //! assert_eq!(g[(3, 2)], 1.5);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod energy;
 pub mod grid2;
 pub mod halo;

@@ -35,6 +35,8 @@
 //! assert_eq!(h.coords(idx), (3, 5));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod curve;
 pub mod hilbert2d;
 pub mod hilbert3d;

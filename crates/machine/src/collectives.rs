@@ -10,6 +10,7 @@
 use crate::clock::Clock;
 use crate::machine::Machine;
 use crate::stats::{PhaseKind, SuperstepStats};
+use crate::trace::{SpanEvent, SuperstepEvent, TraceEvent};
 
 impl<S: Send> Machine<S> {
     /// Charge every rank for a collective moving `share_bytes` per rank
@@ -24,21 +25,85 @@ impl<S: Send> Machine<S> {
         } else {
             0.0
         };
+        let start = self.elapsed_s();
         for c in self.clocks_mut() {
             c.advance_comm(comm);
         }
+        let per_rank_msgs = if p > 1 { stages as u64 } else { 0 };
+        let per_rank_bytes = ((p - 1) * share_bytes) as u64;
+        let total_msgs = if p > 1 { stages as u64 * p as u64 } else { 0 };
+        let total_bytes = ((p - 1) * share_bytes * p) as u64;
         self.stats_mut().push(SuperstepStats {
             phase,
-            max_msgs_sent: if p > 1 { stages as u64 } else { 0 },
-            max_msgs_recv: if p > 1 { stages as u64 } else { 0 },
-            max_bytes_sent: ((p - 1) * share_bytes) as u64,
-            max_bytes_recv: ((p - 1) * share_bytes) as u64,
-            total_msgs: if p > 1 { stages as u64 * p as u64 } else { 0 },
-            total_bytes: ((p - 1) * share_bytes * p) as u64,
+            max_msgs_sent: per_rank_msgs,
+            max_msgs_recv: per_rank_msgs,
+            max_bytes_sent: per_rank_bytes,
+            max_bytes_recv: per_rank_bytes,
+            total_msgs,
+            total_bytes,
             max_compute_s: 0.0,
             max_comm_s: comm,
             elapsed_s: comm,
         });
+        self.trace_collective(
+            phase,
+            start,
+            comm,
+            per_rank_msgs,
+            per_rank_bytes,
+            total_msgs,
+            total_bytes,
+        );
+    }
+
+    /// Emit the trace events of a collective: one uniform span per rank
+    /// (collectives charge every rank identically under the model) plus
+    /// the aggregated superstep event.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_collective(
+        &mut self,
+        phase: PhaseKind,
+        start: f64,
+        comm: f64,
+        per_rank_msgs: u64,
+        per_rank_bytes: u64,
+        total_msgs: u64,
+        total_bytes: u64,
+    ) {
+        if !self.has_recorder() {
+            return;
+        }
+        let p = self.config().ranks;
+        let step = self.next_trace_step();
+        let epoch = self.fault_epoch();
+        for rank in 0..p {
+            self.record_event(&TraceEvent::Span(SpanEvent {
+                rank,
+                phase,
+                superstep: step,
+                epoch,
+                start_s: start,
+                compute_s: 0.0,
+                comm_s: comm,
+                end_s: start + comm,
+                msgs_sent: per_rank_msgs,
+                msgs_recv: per_rank_msgs,
+                bytes_sent: per_rank_bytes,
+                bytes_recv: per_rank_bytes,
+            }));
+        }
+        self.record_event(&TraceEvent::Superstep(SuperstepEvent {
+            phase,
+            superstep: step,
+            epoch,
+            start_s: start,
+            elapsed_s: comm,
+            max_compute_s: 0.0,
+            max_comm_s: comm,
+            total_msgs,
+            total_bytes,
+            collective: true,
+        }));
     }
 
     /// Global concatenation: every rank contributes one value extracted
@@ -155,21 +220,35 @@ impl<S: Send> Machine<S> {
         } else {
             0.0
         };
+        let start = self.elapsed_s();
         for c in self.clocks_mut() {
             c.advance_comm(comm);
         }
+        let per_rank_msgs = if p > 1 { stages as u64 } else { 0 };
+        let per_rank_bytes = (stages as u64) * share_bytes as u64;
+        let total_msgs = if p > 1 { stages as u64 * p as u64 } else { 0 };
+        let total_bytes = (stages as u64) * (share_bytes * p) as u64;
         self.stats_mut().push(SuperstepStats {
             phase,
-            max_msgs_sent: if p > 1 { stages as u64 } else { 0 },
-            max_msgs_recv: if p > 1 { stages as u64 } else { 0 },
-            max_bytes_sent: (stages as u64) * share_bytes as u64,
-            max_bytes_recv: (stages as u64) * share_bytes as u64,
-            total_msgs: if p > 1 { stages as u64 * p as u64 } else { 0 },
-            total_bytes: (stages as u64) * (share_bytes * p) as u64,
+            max_msgs_sent: per_rank_msgs,
+            max_msgs_recv: per_rank_msgs,
+            max_bytes_sent: per_rank_bytes,
+            max_bytes_recv: per_rank_bytes,
+            total_msgs,
+            total_bytes,
             max_compute_s: 0.0,
             max_comm_s: comm,
             elapsed_s: comm,
         });
+        self.trace_collective(
+            phase,
+            start,
+            comm,
+            per_rank_msgs,
+            per_rank_bytes,
+            total_msgs,
+            total_bytes,
+        );
     }
 
     /// Barrier: level all clocks to the slowest rank (idle -> comm).

@@ -3,8 +3,8 @@
 //! Every PIC phase is written as a sequence of *supersteps* and
 //! *collectives* against this trait, so the identical program runs on
 //!
-//! * the modeled BSP [`Machine`](crate::Machine) — deterministic, charges
-//!   the paper's two-level (τ/μ/δ) cost model, reports **modeled
+//! * the modeled BSP [`Machine`] — deterministic,
+//!   charges the paper's two-level (τ/μ/δ) cost model, reports **modeled
 //!   seconds**; and
 //! * the real-threads [`ThreadedMachine`](crate::ThreadedMachine) — one OS
 //!   thread per virtual rank, genuine message passing over mailboxes,
@@ -37,6 +37,7 @@ use crate::fault::FaultPlan;
 use crate::machine::{ExecMode, Machine, Outbox, PhaseCtx};
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog};
+use crate::trace::Recorder;
 
 /// A machine that can run SPMD phase programs over rank states of type `S`.
 ///
@@ -90,6 +91,23 @@ pub trait SpmdEngine<S: Send>: Sized {
 
     /// The current fault epoch.
     fn fault_epoch(&self) -> u64;
+
+    /// Install (or clear) an observability sink.  Every subsequent
+    /// superstep and collective emits per-rank
+    /// [`SpanEvent`](crate::trace::SpanEvent)s and one aggregated
+    /// [`SuperstepEvent`](crate::trace::SuperstepEvent) to it — modeled
+    /// seconds on the BSP machine, wall-clock seconds on the threaded
+    /// one (see [`crate::trace`]).
+    fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>);
+
+    /// Remove and return the installed recorder (used to carry a sink
+    /// across an engine rebuild, e.g. on checkpoint restart).
+    fn take_recorder(&mut self) -> Option<Box<dyn Recorder>>;
+
+    /// Mutable access to the installed recorder, if any.  Drivers use it
+    /// to emit their own iteration/redistribution/fault events into the
+    /// same stream.
+    fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)>;
 
     /// Run one superstep: `compute` on every rank (may send messages),
     /// then `deliver` on every rank with its inbox sorted by sender rank
@@ -236,6 +254,18 @@ impl<S: Send> SpmdEngine<S> for Machine<S> {
 
     fn fault_epoch(&self) -> u64 {
         Machine::fault_epoch(self)
+    }
+
+    fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        Machine::set_recorder(self, recorder);
+    }
+
+    fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        Machine::take_recorder(self)
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)> {
+        Machine::recorder_mut(self)
     }
 
     fn superstep<M, F, G>(

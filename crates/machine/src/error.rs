@@ -13,7 +13,7 @@
 //! The mailbox layer still *transports* failures as panics internally
 //! (any rank failure must abort every peer's superstep, and unwinding is
 //! the only channel that crosses the user program's stack), but the
-//! payloads are typed ([`RankFailure`]) and the public entry points
+//! payloads are typed (`RankFailure`) and the public entry points
 //! catch them and return `Result<_, SpmdError>` instead of re-raising.
 
 use std::any::Any;
@@ -152,7 +152,7 @@ impl SpmdError {
         self
     }
 
-    /// Build from a caught panic payload: typed [`RankFailure`] payloads
+    /// Build from a caught panic payload: typed `RankFailure` payloads
     /// become their structured causes, strings become
     /// [`FailureCause::Panic`].
     pub fn from_panic_payload(payload: Box<dyn Any + Send>) -> Self {

@@ -49,6 +49,8 @@
 //! assert_eq!(m.ranks()[0], 3); // rank 0 received rank 3's value 3
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod collectives;
 pub mod config;
@@ -61,6 +63,7 @@ pub mod payload;
 pub mod stats;
 pub mod threaded;
 pub mod threaded_engine;
+pub mod trace;
 
 pub use clock::Clock;
 pub use config::{MachineConfig, Topology};
@@ -69,5 +72,10 @@ pub use error::{FailureCause, SpmdError, TimeoutDetail};
 pub use fault::{FaultKind, FaultNoise, FaultPlan, FaultSession, FaultSpec, SendFault};
 pub use machine::{ExecMode, Machine, Outbox, PhaseCtx};
 pub use payload::Payload;
-pub use stats::{PhaseKind, StatsLog, SuperstepStats};
+pub use stats::{PhaseKind, PhaseTotals, StatsLog, SuperstepStats};
 pub use threaded_engine::ThreadedMachine;
+pub use trace::{
+    CheckpointAction, CheckpointEvent, CsvRecorder, FaultEvent, IterationEvent, JsonLinesRecorder,
+    MemoryRecorder, MetricsReport, MultiRecorder, PhaseMetrics, Recorder, RedistributionEvent,
+    RedistributionTrigger, RingRecorder, SharedRecorder, SpanEvent, SuperstepEvent, TraceEvent,
+};

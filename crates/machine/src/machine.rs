@@ -23,13 +23,14 @@ use crate::fault::FaultPlan;
 use crate::host_par;
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
+use crate::trace::{Recorder, SpanEvent, SuperstepEvent, TraceEvent};
 
 /// How virtual ranks are executed on the host.
 ///
 /// Both modes produce bit-identical simulation results; `Rayon` simply
 /// spreads rank loops over host cores for wall-clock speed on the big
 /// parameter sweeps.  (The name is historic: the host-parallel mode now
-/// runs on `std` scoped threads — see [`crate::host_par`] — so the
+/// runs on `std` scoped threads — see `host_par` — so the
 /// workspace builds with no external dependencies.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -118,6 +119,11 @@ pub struct Machine<S> {
     /// Operations issued through the engine trait (superstep index in
     /// error context).
     supersteps: u64,
+    /// Installed observability sink, if any (see [`crate::trace`]).
+    recorder: Option<Box<dyn Recorder>>,
+    /// Supersteps/collectives emitted to the recorder.  Separate from
+    /// `supersteps`, which only counts engine-trait entry points.
+    traced_steps: u64,
 }
 
 impl<S: Send> Machine<S> {
@@ -143,7 +149,51 @@ impl<S: Send> Machine<S> {
             fault_plan: None,
             fault_epoch: 0,
             supersteps: 0,
+            recorder: None,
+            traced_steps: 0,
         }
+    }
+
+    /// Install (or clear) an observability sink.  Every subsequent
+    /// superstep and collective emits per-rank [`SpanEvent`]s and one
+    /// aggregated [`SuperstepEvent`] to it (see [`crate::trace`]).
+    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// Remove and return the installed recorder (used to carry a sink
+    /// across an engine rebuild, e.g. on checkpoint restart).
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Mutable access to the installed recorder, if any (drivers use it
+    /// to emit their own iteration/redistribution events).
+    pub fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)> {
+        match self.recorder.as_mut() {
+            Some(rec) => Some(rec.as_mut()),
+            None => None,
+        }
+    }
+
+    /// True when a recorder is installed (crate-internal fast path so
+    /// emission work is skipped entirely when tracing is off).
+    pub(crate) fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Forward one event to the recorder, if any (crate-internal).
+    pub(crate) fn record_event(&mut self, event: &TraceEvent) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(event);
+        }
+    }
+
+    /// Allocate the next trace superstep index (crate-internal).
+    pub(crate) fn next_trace_step(&mut self) -> u64 {
+        let step = self.traced_steps;
+        self.traced_steps += 1;
+        step
     }
 
     /// Install (or clear) a fault schedule.  The modeled machine has no
@@ -309,6 +359,8 @@ impl<S: Send> Machine<S> {
 
         // --- charge clocks and barrier -----------------------------------------
         let start = self.clocks.first().map_or(0.0, Clock::total_s);
+        let mut compute_secs = vec![0.0f64; p];
+        let mut comm_secs = vec![0.0f64; p];
         let mut max_compute = 0.0f64;
         let mut max_comm = 0.0f64;
         for r in 0..p {
@@ -319,6 +371,8 @@ impl<S: Send> Machine<S> {
                 + recv_bytes[r] as f64 * self.cfg.mu;
             self.clocks[r].advance_compute(compute_s);
             self.clocks[r].advance_comm(comm_s);
+            compute_secs[r] = compute_s;
+            comm_secs[r] = comm_s;
             max_compute = max_compute.max(compute_s);
             max_comm = max_comm.max(comm_s);
         }
@@ -328,18 +382,53 @@ impl<S: Send> Machine<S> {
             c.sync_to(barrier);
         }
 
+        let total_msgs: u64 = send_msgs.iter().sum();
+        let total_bytes: u64 = send_bytes.iter().sum();
         self.stats.push(SuperstepStats {
             phase,
             max_msgs_sent: send_msgs.iter().copied().max().unwrap_or(0),
             max_msgs_recv: recv_msgs.iter().copied().max().unwrap_or(0),
             max_bytes_sent: send_bytes.iter().copied().max().unwrap_or(0),
             max_bytes_recv: recv_bytes.iter().copied().max().unwrap_or(0),
-            total_msgs: send_msgs.iter().sum(),
-            total_bytes: send_bytes.iter().sum(),
+            total_msgs,
+            total_bytes,
             max_compute_s: max_compute,
             max_comm_s: max_comm,
             elapsed_s: elapsed,
         });
+
+        if self.has_recorder() {
+            let step = self.next_trace_step();
+            let epoch = self.fault_epoch;
+            for r in 0..p {
+                self.record_event(&TraceEvent::Span(SpanEvent {
+                    rank: r,
+                    phase,
+                    superstep: step,
+                    epoch,
+                    start_s: start,
+                    compute_s: compute_secs[r],
+                    comm_s: comm_secs[r],
+                    end_s: start + compute_secs[r] + comm_secs[r],
+                    msgs_sent: send_msgs[r],
+                    msgs_recv: recv_msgs[r],
+                    bytes_sent: send_bytes[r],
+                    bytes_recv: recv_bytes[r],
+                }));
+            }
+            self.record_event(&TraceEvent::Superstep(SuperstepEvent {
+                phase,
+                superstep: step,
+                epoch,
+                start_s: start,
+                elapsed_s: elapsed,
+                max_compute_s: max_compute,
+                max_comm_s: max_comm,
+                total_msgs,
+                total_bytes,
+                collective: false,
+            }));
+        }
     }
 
     /// A communication-free superstep: every rank runs `compute` locally.

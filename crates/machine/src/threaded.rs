@@ -45,7 +45,7 @@
 //! ## Fault injection
 //!
 //! A [`Mailbox`] optionally carries a [`FaultSession`] (one rank's view of
-//! a seeded [`FaultPlan`](crate::fault::FaultPlan)).  Benign faults act at
+//! a seeded [`FaultPlan`]).  Benign faults act at
 //! the wire level — a delayed send sleeps, a reordered exchange visits
 //! destinations in a scrambled order, a dropped message is parked in a
 //! per-destination *lost queue* (everything later addressed to the same

@@ -39,6 +39,7 @@ use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
 use crate::threaded::{
     make_mailboxes, poison_all, resolve_rank_results, Mailbox, DEFAULT_RECV_TIMEOUT,
 };
+use crate::trace::{Recorder, SpanEvent, SuperstepEvent, TraceEvent};
 
 /// Per-rank accounting returned from a superstep's rank thread.
 struct RankReport {
@@ -63,6 +64,12 @@ pub struct ThreadedMachine<S> {
     fault_plan: Option<Arc<FaultPlan>>,
     fault_epoch: u64,
     supersteps: u64,
+    /// Installed observability sink, if any (see [`crate::trace`]).
+    /// Events are emitted from the driving thread after the rank threads
+    /// join, so recorders need `Send` but never see concurrent calls.
+    recorder: Option<Box<dyn Recorder>>,
+    /// Supersteps/collectives emitted to the recorder.
+    traced_steps: u64,
 }
 
 impl<S: Send> ThreadedMachine<S> {
@@ -88,6 +95,8 @@ impl<S: Send> ThreadedMachine<S> {
             fault_plan: None,
             fault_epoch: 0,
             supersteps: 0,
+            recorder: None,
+            traced_steps: 0,
         }
     }
 
@@ -162,19 +171,97 @@ impl<S: Send> ThreadedMachine<S> {
         let p = self.cfg.ranks;
         let stages = self.cfg.topology.collective_stages(p) as u64;
         let wall_s = wall.as_secs_f64();
+        let start = self.elapsed_wall_s;
         self.elapsed_wall_s += wall_s;
+        let per_rank_msgs = if p > 1 { stages } else { 0 };
+        let per_rank_bytes = ((p - 1) * share_bytes) as u64;
+        let total_msgs = if p > 1 { stages * p as u64 } else { 0 };
+        let total_bytes = ((p - 1) * share_bytes * p) as u64;
         self.stats.push(SuperstepStats {
             phase,
-            max_msgs_sent: if p > 1 { stages } else { 0 },
-            max_msgs_recv: if p > 1 { stages } else { 0 },
-            max_bytes_sent: ((p - 1) * share_bytes) as u64,
-            max_bytes_recv: ((p - 1) * share_bytes) as u64,
-            total_msgs: if p > 1 { stages * p as u64 } else { 0 },
-            total_bytes: ((p - 1) * share_bytes * p) as u64,
+            max_msgs_sent: per_rank_msgs,
+            max_msgs_recv: per_rank_msgs,
+            max_bytes_sent: per_rank_bytes,
+            max_bytes_recv: per_rank_bytes,
+            total_msgs,
+            total_bytes,
             max_compute_s: 0.0,
             max_comm_s: wall_s,
             elapsed_s: wall_s,
         });
+        self.trace_collective(
+            phase,
+            start,
+            wall_s,
+            per_rank_msgs,
+            per_rank_bytes,
+            total_msgs,
+            total_bytes,
+        );
+    }
+
+    /// Forward one event to the recorder, if any.
+    fn record_event(&mut self, event: &TraceEvent) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(event);
+        }
+    }
+
+    /// Allocate the next trace superstep index.
+    fn next_trace_step(&mut self) -> u64 {
+        let step = self.traced_steps;
+        self.traced_steps += 1;
+        step
+    }
+
+    /// Emit the trace events of a collective: one uniform span per rank
+    /// (all ranks participate for the operation's full wall time) plus
+    /// the aggregated superstep event.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_collective(
+        &mut self,
+        phase: PhaseKind,
+        start: f64,
+        wall_s: f64,
+        per_rank_msgs: u64,
+        per_rank_bytes: u64,
+        total_msgs: u64,
+        total_bytes: u64,
+    ) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let p = self.cfg.ranks;
+        let step = self.next_trace_step();
+        let epoch = self.fault_epoch;
+        for rank in 0..p {
+            self.record_event(&TraceEvent::Span(SpanEvent {
+                rank,
+                phase,
+                superstep: step,
+                epoch,
+                start_s: start,
+                compute_s: 0.0,
+                comm_s: wall_s,
+                end_s: start + wall_s,
+                msgs_sent: per_rank_msgs,
+                msgs_recv: per_rank_msgs,
+                bytes_sent: per_rank_bytes,
+                bytes_recv: per_rank_bytes,
+            }));
+        }
+        self.record_event(&TraceEvent::Superstep(SuperstepEvent {
+            phase,
+            superstep: step,
+            epoch,
+            start_s: start,
+            elapsed_s: wall_s,
+            max_compute_s: 0.0,
+            max_comm_s: wall_s,
+            total_msgs,
+            total_bytes,
+            collective: true,
+        }));
     }
 }
 
@@ -237,6 +324,21 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         self.fault_epoch
     }
 
+    fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)> {
+        match self.recorder.as_mut() {
+            Some(rec) => Some(rec.as_mut()),
+            None => None,
+        }
+    }
+
     fn superstep<M, F, G>(
         &mut self,
         phase: PhaseKind,
@@ -294,20 +396,61 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
             .iter()
             .map(|rep| rep.compute.as_secs_f64())
             .fold(0.0, f64::max);
+        let start = self.elapsed_wall_s;
         self.elapsed_wall_s += wall_s;
         self.compute_wall_s += max_compute_s;
+        let total_msgs: u64 = reports.iter().map(|r| r.sent_msgs).sum();
+        let total_bytes: u64 = reports.iter().map(|r| r.sent_bytes).sum();
         self.stats.push(SuperstepStats {
             phase,
             max_msgs_sent: reports.iter().map(|r| r.sent_msgs).max().unwrap_or(0),
             max_msgs_recv: reports.iter().map(|r| r.recv_msgs).max().unwrap_or(0),
             max_bytes_sent: reports.iter().map(|r| r.sent_bytes).max().unwrap_or(0),
             max_bytes_recv: reports.iter().map(|r| r.recv_bytes).max().unwrap_or(0),
-            total_msgs: reports.iter().map(|r| r.sent_msgs).sum(),
-            total_bytes: reports.iter().map(|r| r.sent_bytes).sum(),
+            total_msgs,
+            total_bytes,
             max_compute_s,
             max_comm_s: (wall_s - max_compute_s).max(0.0),
             elapsed_s: wall_s,
         });
+        if self.recorder.is_some() {
+            let step = self.next_trace_step();
+            let epoch = self.fault_epoch;
+            for (rank, rep) in reports.iter().enumerate() {
+                // A rank is busy for the op's full wall time (it exits
+                // through the barrier): anything not spent computing is
+                // communication + idle, mirroring the modeled machine's
+                // idle-to-comm accounting.
+                let compute_s = rep.compute.as_secs_f64();
+                let comm_s = (wall_s - compute_s).max(0.0);
+                self.record_event(&TraceEvent::Span(SpanEvent {
+                    rank,
+                    phase,
+                    superstep: step,
+                    epoch,
+                    start_s: start,
+                    compute_s,
+                    comm_s,
+                    end_s: start + compute_s + comm_s,
+                    msgs_sent: rep.sent_msgs,
+                    msgs_recv: rep.recv_msgs,
+                    bytes_sent: rep.sent_bytes,
+                    bytes_recv: rep.recv_bytes,
+                }));
+            }
+            self.record_event(&TraceEvent::Superstep(SuperstepEvent {
+                phase,
+                superstep: step,
+                epoch,
+                start_s: start,
+                elapsed_s: wall_s,
+                max_compute_s,
+                max_comm_s: (wall_s - max_compute_s).max(0.0),
+                total_msgs,
+                total_bytes,
+                collective: false,
+            }));
+        }
         Ok(())
     }
 
@@ -420,19 +563,33 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         let p = self.cfg.ranks;
         let stages = self.cfg.topology.collective_stages(p) as u64;
         let wall_s = wall.as_secs_f64();
+        let start = self.elapsed_wall_s;
         self.elapsed_wall_s += wall_s;
+        let per_rank_msgs = if p > 1 { stages } else { 0 };
+        let per_rank_bytes = stages * share_bytes as u64;
+        let total_msgs = if p > 1 { stages * p as u64 } else { 0 };
+        let total_bytes = stages * (share_bytes * p) as u64;
         self.stats.push(SuperstepStats {
             phase,
-            max_msgs_sent: if p > 1 { stages } else { 0 },
-            max_msgs_recv: if p > 1 { stages } else { 0 },
-            max_bytes_sent: stages * share_bytes as u64,
-            max_bytes_recv: stages * share_bytes as u64,
-            total_msgs: if p > 1 { stages * p as u64 } else { 0 },
-            total_bytes: stages * (share_bytes * p) as u64,
+            max_msgs_sent: per_rank_msgs,
+            max_msgs_recv: per_rank_msgs,
+            max_bytes_sent: per_rank_bytes,
+            max_bytes_recv: per_rank_bytes,
+            total_msgs,
+            total_bytes,
             max_compute_s: 0.0,
             max_comm_s: wall_s,
             elapsed_s: wall_s,
         });
+        self.trace_collective(
+            phase,
+            start,
+            wall_s,
+            per_rank_msgs,
+            per_rank_bytes,
+            total_msgs,
+            total_bytes,
+        );
         Ok(())
     }
 

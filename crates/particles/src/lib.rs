@@ -15,6 +15,8 @@
 //! assert!(p.x.iter().all(|&x| (0.0..64.0).contains(&x)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod init;
 pub mod push;
 pub mod shape;

@@ -23,6 +23,8 @@
 //! Everything here is pure rank-local logic over plain data; the
 //! `pic-core` driver wires these pieces into machine supersteps.
 
+#![warn(missing_docs)]
+
 pub mod balance;
 pub mod block;
 pub mod bucket;

@@ -1,14 +1,47 @@
 #!/bin/bash
-# Regenerate every table and figure of the IPPS'96 evaluation.
-# Full scale takes ~25 minutes on one core; pass --quick to smoke-test.
+# Regenerate the tables and figures of the IPPS'96 evaluation.
+#
+# Usage:
+#   ./run_experiments.sh                 # every artifact, full scale (~25 min)
+#   ./run_experiments.sh --quick         # 10x fewer iterations (~3 min)
+#   ./run_experiments.sh --iters 500     # explicit iteration count
+#   ./run_experiments.sh --only fig20    # only binaries matching the substring
+#   ./run_experiments.sh --only fig20 --quick   # filters and flags combine
+#
+# Each binary prints its table/series and rewrites results/<name>.csv, so a
+# stale CSV is refreshed by re-running just its binary (see EXPERIMENTS.md
+# for the binary -> figure -> CSV matrix).
 set -e
 cd "$(dirname "$0")"
-ARGS="$@"
-for bin in table1_strategies fig16_static_vs_periodic fig17_iteration_time \
-           fig18_scatter_data fig19_scatter_messages fig20_dynamic_policy \
-           table2_time table3_efficiency fig21_overhead_uniform fig22_overhead_irregular \
-           baseline_replicated ablation_machine ablation_dedup; do
-    echo "=== $bin ==="
-    cargo run --release -q -p pic-bench --bin "$bin" -- $ARGS
-    echo
+
+ONLY=""
+ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --only)
+            [ $# -ge 2 ] || { echo "--only needs a pattern" >&2; exit 2; }
+            ONLY="$2"; shift 2 ;;
+        *)
+            ARGS+=("$1"); shift ;;
+    esac
 done
+
+BINS="table1_strategies fig16_static_vs_periodic fig17_iteration_time \
+      fig18_scatter_data fig19_scatter_messages fig20_dynamic_policy \
+      table2_time table3_efficiency fig21_overhead_uniform fig22_overhead_irregular \
+      baseline_replicated ablation_machine ablation_dedup observability_overhead"
+
+ran=0
+for bin in $BINS; do
+    if [ -n "$ONLY" ] && [[ "$bin" != *"$ONLY"* ]]; then continue; fi
+    echo "=== $bin ==="
+    cargo run --release -q -p pic-bench --bin "$bin" -- "${ARGS[@]}"
+    echo
+    ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+    echo "no binary matches --only '$ONLY'; available:" >&2
+    echo "$BINS" | tr -s ' \\' '\n' | sed '/^$/d' >&2
+    exit 2
+fi

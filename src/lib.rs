@@ -14,12 +14,20 @@
 //! * [`partition`] — particle distribution/redistribution and policies;
 //! * [`core`] — the parallel PIC driver tying everything together.
 
+#![warn(missing_docs)]
+
 pub use pic_core as core;
 pub use pic_field as field;
 pub use pic_index as index;
 pub use pic_machine as machine;
 pub use pic_particles as particles;
 pub use pic_partition as partition;
+
+/// Compiles and runs every Rust snippet in the README as a doctest, so
+/// the documented examples cannot drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 /// Convenient glob-import of the most used types across the stack.
 pub mod prelude {

@@ -6,6 +6,8 @@
 //! the median sample is reported.  No plots, no saved baselines — just
 //! enough to compare kernels on one machine in one run.
 
+#![warn(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

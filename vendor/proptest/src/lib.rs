@@ -12,6 +12,8 @@
 //!   `BASE_SEED + i`, so failures reproduce exactly across runs;
 //! - assertions panic immediately instead of returning `TestCaseError`.
 
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 

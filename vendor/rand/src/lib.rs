@@ -7,6 +7,8 @@
 //! workspace depends on a particular stream, only on determinism: the same
 //! seed must yield the same particles on every platform and executor.
 
+#![warn(missing_docs)]
+
 /// Types that can seed themselves from a `u64`.
 pub trait SeedableRng: Sized {
     /// Build a generator deterministically from `state`.

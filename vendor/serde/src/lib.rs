@@ -7,6 +7,8 @@
 //! hand-formatted CSV/console output) — but the derives emit real impls so
 //! `T: Serialize` bounds remain satisfiable if a later PR adds an encoder.
 
+#![warn(missing_docs)]
+
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 

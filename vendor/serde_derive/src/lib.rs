@@ -7,6 +7,8 @@
 //! therefore parses just enough of the item to emit a real (empty-bodied)
 //! trait impl, keeping `T: Serialize` bounds satisfiable.
 
+#![warn(missing_docs)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Extract `(name, generic parameter idents)` from a struct/enum definition.
