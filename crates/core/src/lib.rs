@@ -49,6 +49,7 @@ pub mod messages;
 pub mod phases;
 pub mod recovery;
 pub mod replicated;
+pub mod scratch;
 pub mod sequential;
 pub mod sim;
 pub mod state;
@@ -61,6 +62,7 @@ pub use electrostatic::ElectrostaticPicSim;
 pub use ghost::{DirectTableAccumulator, GhostAccumulator, HashTableAccumulator};
 pub use recovery::{run_with_recovery, run_with_recovery_traced, RecoveryOutcome};
 pub use replicated::ReplicatedGridPicSim;
+pub use scratch::ScratchArena;
 pub use sequential::SequentialPicSim;
 pub use sim::{
     GenericPicSim, IterationRecord, ParallelPicSim, PhaseBreakdown, SimReport, ThreadedPicSim,

@@ -3,6 +3,8 @@
 //! Wire sizes model what the 1996 code would pack into CMMD messages:
 //! 4-byte packed grid indices, 8-byte doubles — see [`crate::costs`].
 
+use std::sync::Arc;
+
 use pic_machine::Payload;
 
 use crate::costs::{GHOST_CURRENT_BYTES, GHOST_FIELD_BYTES, PARTICLE_MSG_BYTES};
@@ -41,34 +43,96 @@ impl Payload for HaloData {
 
 /// A batch of migrating particles: curve keys plus five phase-space
 /// doubles each, in sorted key order.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Zero-copy view into shared flat buffers: the sending rank packs *all*
+/// outgoing particles once (grouped by destination) into one key buffer
+/// and one interleaved phase-space buffer, and every per-destination
+/// batch is an `Arc`-backed `[start, end)` window of those — no
+/// per-destination `Vec` clones on the wire.  Cloning a batch clones two
+/// `Arc`s and two indices.
+#[derive(Debug, Clone)]
 pub struct ParticleBatch {
-    /// Curve keys, ascending.
-    pub keys: Vec<u64>,
-    /// Phase space, five doubles per particle: x, y, ux, uy, uz.
-    pub data: Vec<f64>,
+    keys: Arc<Vec<u64>>,
+    /// Interleaved phase space, five doubles per particle:
+    /// x, y, ux, uy, uz.
+    data: Arc<Vec<f64>>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for ParticleBatch {
+    fn default() -> Self {
+        Self {
+            keys: Arc::new(Vec::new()),
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
+impl PartialEq for ParticleBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys() == other.keys() && self.interleaved() == other.interleaved()
+    }
 }
 
 impl ParticleBatch {
+    /// A batch viewing particles `start..end` of shared pack buffers
+    /// (`data` holds five interleaved doubles per particle).
+    ///
+    /// # Panics
+    /// Panics if the window exceeds either buffer.
+    pub fn view(keys: Arc<Vec<u64>>, data: Arc<Vec<f64>>, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= keys.len(), "key window out of range");
+        assert!(end * 5 <= data.len(), "data window out of range");
+        Self {
+            keys,
+            data,
+            start,
+            end,
+        }
+    }
+
     /// Number of particles in the batch.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.end - self.start
     }
 
     /// True when the batch is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.start == self.end
     }
 
-    /// Append one particle.
+    /// The batch's curve keys, ascending.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys[self.start..self.end]
+    }
+
+    /// The interleaved phase-space window (five doubles per particle).
+    pub fn interleaved(&self) -> &[f64] {
+        &self.data[self.start * 5..self.end * 5]
+    }
+
+    /// Append one particle (test/construction convenience — a batch
+    /// built by pushes owns its buffers, so this never clones shared
+    /// data in practice).
+    ///
+    /// # Panics
+    /// Panics if the batch is a strict window of larger pack buffers.
     pub fn push(&mut self, key: u64, coords: [f64; 5]) {
-        self.keys.push(key);
-        self.data.extend_from_slice(&coords);
+        assert!(
+            self.start == 0 && self.end == self.keys.len(),
+            "cannot push into a sliced batch view"
+        );
+        Arc::make_mut(&mut self.keys).push(key);
+        Arc::make_mut(&mut self.data).extend_from_slice(&coords);
+        self.end += 1;
     }
 
     /// The `i`-th particle's phase-space coordinates.
     pub fn coords(&self, i: usize) -> [f64; 5] {
-        let o = i * 5;
+        let o = (self.start + i) * 5;
         [
             self.data[o],
             self.data[o + 1],
@@ -81,7 +145,7 @@ impl ParticleBatch {
 
 impl Payload for ParticleBatch {
     fn size_bytes(&self) -> usize {
-        self.keys.len() * PARTICLE_MSG_BYTES
+        self.len() * PARTICLE_MSG_BYTES
     }
 }
 
@@ -115,5 +179,30 @@ mod tests {
     fn empty_batch_is_free() {
         assert_eq!(ParticleBatch::default().size_bytes(), 0);
         assert!(ParticleBatch::default().is_empty());
+    }
+
+    #[test]
+    fn sliced_views_share_one_buffer() {
+        let keys = Arc::new(vec![1u64, 2, 3, 4]);
+        let data = Arc::new((0..20).map(f64::from).collect::<Vec<f64>>());
+        let a = ParticleBatch::view(keys.clone(), data.clone(), 0, 1);
+        let b = ParticleBatch::view(keys.clone(), data.clone(), 1, 4);
+        assert_eq!(a.keys(), &[1]);
+        assert_eq!(b.keys(), &[2, 3, 4]);
+        assert_eq!(b.coords(0), [5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(b.size_bytes(), 3 * 48);
+        // clones are window handles, not buffer copies
+        let c = b.clone();
+        assert_eq!(c, b);
+        assert_eq!(Arc::strong_count(&keys), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push into a sliced batch view")]
+    fn push_into_slice_rejected() {
+        let keys = Arc::new(vec![1u64, 2]);
+        let data = Arc::new(vec![0.0; 10]);
+        let mut b = ParticleBatch::view(keys, data, 0, 1);
+        b.push(9, [0.0; 5]);
     }
 }

@@ -9,8 +9,6 @@
 //! round-trip is needed; the delivery half interpolates E and B at every
 //! particle.
 
-use std::collections::HashMap;
-
 use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 use pic_particles::Cic;
 
@@ -42,31 +40,60 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) -> Result<
         },
         move |_r, st, ctx, inbox| {
             let nxu = nx as u32;
-            let mut cache: HashMap<u32, [f64; 6]> = HashMap::new();
+            // the vertex cache lives in the arena: cleared every
+            // iteration, table capacity kept
+            let RankState {
+                scratch,
+                particles,
+                rect,
+                fields,
+                e_at,
+                b_at,
+                ..
+            } = st;
+            let cache = &mut scratch.ghost_cache;
+            cache.begin(nx * ny);
             for (_, GhostFields(entries)) in inbox {
-                cache.reserve(entries.len());
                 for (k, v) in entries {
                     cache.insert(k, v);
                 }
             }
-            let n = st.particles.len();
-            st.e_at.clear();
-            st.b_at.clear();
-            st.e_at.reserve(n);
-            st.b_at.reserve(n);
+            // Interleave the padded field block once per delivery so the
+            // per-particle loop reads one contiguous `[f64; 6]` per
+            // vertex instead of six bounds-checked loads scattered over
+            // six component planes.
+            let pw = fields.width();
+            let (ex, ey, ez) = (
+                fields.ex.as_slice(),
+                fields.ey.as_slice(),
+                fields.ez.as_slice(),
+            );
+            let (bx, by, bz) = (
+                fields.bx.as_slice(),
+                fields.by.as_slice(),
+                fields.bz.as_slice(),
+            );
+            let aos = &mut scratch.fields_aos;
+            aos.clear();
+            aos.extend((0..ex.len()).map(|i| [ex[i], ey[i], ez[i], bx[i], by[i], bz[i]]));
+            let n = particles.len();
+            e_at.clear();
+            b_at.clear();
+            e_at.reserve(n);
+            b_at.reserve(n);
             for i in 0..n {
-                let cic = Cic::new(st.particles.x[i], st.particles.y[i], dx, dy, nx, ny);
+                let cic = Cic::new(particles.x[i], particles.y[i], dx, dy, nx, ny);
                 ctx.charge_ops(4.0 * costs::GATHER_VERTEX);
                 let mut e = [0.0f64; 3];
                 let mut b = [0.0f64; 3];
                 for (k, (cx, cy)) in cic.corners(nx, ny).into_iter().enumerate() {
                     let w = cic.w[k];
-                    let vals = if st.rect.contains(cx, cy) {
-                        let (lx, ly) = (cx - st.rect.x0 + 1, cy - st.rect.y0 + 1);
-                        st.fields.at(lx, ly)
+                    let vals = if rect.contains(cx, cy) {
+                        let (lx, ly) = (cx - rect.x0 + 1, cy - rect.y0 + 1);
+                        aos[ly * pw + lx]
                     } else {
                         let key = cy as u32 * nxu + cx as u32;
-                        *cache.get(&key).unwrap_or_else(|| {
+                        cache.get(key).unwrap_or_else(|| {
                             panic!(
                                 "gather: ghost vertex {key} (cell {cx},{cy}) missing \
                                  from scatter round"
@@ -78,8 +105,8 @@ pub fn run<E: SpmdEngine<RankState>>(machine: &mut E, env: &PhaseEnv) -> Result<
                         b[c] += w * vals[3 + c];
                     }
                 }
-                st.e_at.push(e);
-                st.b_at.push(b);
+                e_at.push(e);
+                b_at.push(b);
             }
         },
     )

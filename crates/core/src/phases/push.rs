@@ -62,27 +62,24 @@ fn migrate_eulerian<E: SpmdEngine<RankState>>(
         PhaseKind::Push,
         move |_r, st, ctx, ob: &mut Outbox<ParticleBatch>| {
             let n = st.particles.len();
-            // keys are unused in Eulerian mode but `take_outgoing`
+            // keys are unused in Eulerian mode but the exchange
             // transports them; keep the array sized
             st.keys.resize(n, 0);
-            let dests: Vec<usize> = (0..n)
-                .map(|i| {
-                    let (cx, cy) = pic_partition::cell_of(
-                        st.particles.x[i],
-                        st.particles.y[i],
-                        dx,
-                        dy,
-                        nx,
-                        ny,
-                    );
-                    layout.owner_of(cx, cy)
-                })
-                .collect();
+            let RankState {
+                scratch, particles, ..
+            } = st;
+            scratch.dests.clear();
+            scratch.dests.reserve(n);
+            for i in 0..n {
+                let (cx, cy) =
+                    pic_partition::cell_of(particles.x[i], particles.y[i], dx, dy, nx, ny);
+                scratch.dests.push(layout.owner_of(cx, cy));
+            }
             ctx.charge_ops(n as f64 * costs::CLASSIFY_STEP);
-            for (dest, batch) in st.take_outgoing(&dests) {
+            st.take_outgoing_packed(|dest, batch| {
                 ctx.charge_ops(batch.len() as f64 * costs::PACK_PARTICLE);
                 ob.send(dest, batch);
-            }
+            });
         },
         move |_r, st, ctx, inbox| {
             for (_, batch) in inbox {

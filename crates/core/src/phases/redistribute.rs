@@ -19,7 +19,7 @@
 
 use pic_machine::{Outbox, PhaseKind, SpmdEngine, SpmdError};
 use pic_partition::{
-    assign_keys, classify_by_bounds, order_maintaining_balance, rank_bounds_from_sorted,
+    assign_keys_into, classify_by_bounds_into, order_maintaining_balance, rank_bounds_from_sorted,
     regular_sample, select_splitters,
 };
 
@@ -43,9 +43,11 @@ pub fn run<E: SpmdEngine<RankState>>(
     let indexer = env.indexer;
     let (dx, dy) = (env.cfg.dx, env.cfg.dy);
 
-    // 1. refresh keys
+    // 1. refresh keys (reusing the rank's key buffer)
     machine.local_step(PhaseKind::Redistribute, move |_r, st, ctx| {
-        st.keys = assign_keys(&st.particles, indexer, dx, dy);
+        let mut keys = std::mem::take(&mut st.keys);
+        assign_keys_into(&st.particles, indexer, dx, dy, &mut keys);
+        st.keys = keys;
         ctx.charge_ops(st.len() as f64 * costs::INDEX_PARTICLE);
     })?;
 
@@ -73,12 +75,14 @@ pub fn run<E: SpmdEngine<RankState>>(
     machine.superstep(
         PhaseKind::Redistribute,
         move |_r, st, ctx, ob: &mut Outbox<ParticleBatch>| {
-            let dests = classify_by_bounds(&st.keys, &st.bounds);
+            let mut dests = std::mem::take(&mut st.scratch.dests);
+            classify_by_bounds_into(&st.keys, &st.bounds, &mut dests);
+            st.scratch.dests = dests;
             ctx.charge_ops(st.len() as f64 * costs::CLASSIFY_STEP * logp);
-            for (dest, batch) in st.take_outgoing(&dests) {
+            st.take_outgoing_packed(|dest, batch| {
                 ctx.charge_ops(batch.len() as f64 * costs::PACK_PARTICLE);
                 ob.send(dest, batch);
-            }
+            });
         },
         |_r, st, ctx, inbox| {
             for (_, batch) in inbox {
@@ -108,16 +112,17 @@ pub fn run<E: SpmdEngine<RankState>>(
             if plan.moves[r].is_empty() {
                 return;
             }
-            let mut dests = vec![r; st.len()];
+            st.scratch.dests.clear();
+            st.scratch.dests.resize(st.len(), r);
             for (dest, range) in &plan.moves[r] {
-                for d in &mut dests[range.clone()] {
+                for d in &mut st.scratch.dests[range.clone()] {
                     *d = *dest;
                 }
             }
-            for (dest, batch) in st.take_outgoing(&dests) {
+            st.take_outgoing_packed(|dest, batch| {
                 ctx.charge_ops(batch.len() as f64 * costs::PACK_PARTICLE);
                 ob.send(dest, batch);
-            }
+            });
         },
         |r, st, ctx, inbox| {
             if inbox.is_empty() {
@@ -133,10 +138,9 @@ pub fn run<E: SpmdEngine<RankState>>(
             ctx.charge_ops(total_in as f64 * costs::PACK_PARTICLE);
             let push_batch =
                 |mp: &mut pic_particles::Particles, mk: &mut Vec<u64>, batch: &ParticleBatch| {
-                    for i in 0..batch.len() {
-                        let c = batch.coords(i);
+                    mk.extend_from_slice(batch.keys());
+                    for c in batch.interleaved().chunks_exact(5) {
                         mp.push(c[0], c[1], c[2], c[3], c[4]);
-                        mk.push(batch.keys[i]);
                     }
                 };
             for (from, batch) in inbox.iter().filter(|(f, _)| *f < r) {

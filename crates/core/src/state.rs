@@ -7,6 +7,7 @@ use pic_partition::BucketIncrementalSorter;
 use crate::config::SimConfig;
 use crate::ghost::{make_accumulator, GhostAccumulator};
 use crate::messages::ParticleBatch;
+use crate::scratch::{reuse_arc_buf, ScratchArena};
 
 /// Everything one virtual processor owns.
 pub struct RankState {
@@ -45,6 +46,9 @@ pub struct RankState {
     pub all_counts: Vec<usize>,
     /// Scratch vector reused across collectives.
     pub scratch_u64: Vec<u64>,
+    /// Reusable hot-loop buffers (never snapshotted; see
+    /// [`crate::scratch`]).
+    pub scratch: ScratchArena,
 }
 
 impl RankState {
@@ -66,6 +70,7 @@ impl RankState {
             b_at: Vec::new(),
             all_counts: vec![0; p],
             scratch_u64: Vec::new(),
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -83,66 +88,148 @@ impl RankState {
     /// differs from this rank, grouped into per-destination batches in
     /// ascending rank order.  Local order of survivors is preserved.
     ///
+    /// Convenience wrapper over [`Self::take_outgoing_packed`] (copies
+    /// `dests` into the arena and collects the batches); the hot path
+    /// classifies straight into `scratch.dests` and streams batches to
+    /// the outbox.
+    ///
     /// # Panics
     /// Panics if `dests` length mismatches the particle count.
     pub fn take_outgoing(&mut self, dests: &[usize]) -> Vec<(usize, ParticleBatch)> {
-        assert_eq!(dests.len(), self.len(), "dests length mismatch");
-        let off: Vec<usize> = (0..self.len()).filter(|&i| dests[i] != self.rank).collect();
-        if off.is_empty() {
-            return Vec::new();
-        }
-        let moved_dests: Vec<usize> = off.iter().map(|&i| dests[i]).collect();
-        let moved_keys: Vec<u64> = off.iter().map(|&i| self.keys[i]).collect();
-        let moved = self.particles.extract(&off);
-        // rebuild local keys for survivors
-        let mut keep_keys = Vec::with_capacity(self.keys.len() - off.len());
-        let mut oi = 0;
-        for (i, &k) in self.keys.iter().enumerate() {
-            if oi < off.len() && off[oi] == i {
-                oi += 1;
-            } else {
-                keep_keys.push(k);
-            }
-        }
-        self.keys = keep_keys;
-        // group into batches by destination, ascending
-        let mut order: Vec<usize> = (0..moved_dests.len()).collect();
-        order.sort_by_key(|&i| (moved_dests[i], i));
-        let mut out: Vec<(usize, ParticleBatch)> = Vec::new();
-        for i in order {
-            let dest = moved_dests[i];
-            let coords = moved.get(i);
-            match out.last_mut() {
-                Some((d, batch)) if *d == dest => batch.push(moved_keys[i], coords),
-                _ => {
-                    let mut batch = ParticleBatch::default();
-                    batch.push(moved_keys[i], coords);
-                    out.push((dest, batch));
-                }
-            }
-        }
+        self.scratch.dests.clear();
+        self.scratch.dests.extend_from_slice(dests);
+        let mut out = Vec::new();
+        self.take_outgoing_packed(|dest, batch| out.push((dest, batch)));
         out
+    }
+
+    /// Zero-copy outgoing exchange: consume `scratch.dests` (destination
+    /// rank per particle), pack every mover ONCE into the arena's shared
+    /// flat buffers — keys and interleaved phase space, grouped by
+    /// destination via a stable counting scatter — and hand `send` one
+    /// `Arc`-sliced [`ParticleBatch`] window per destination, ascending.
+    /// Survivors are compacted in place (order preserved); the pack
+    /// buffers are reclaimed on the next call once receivers have
+    /// dropped their views, so steady-state exchanges allocate nothing.
+    ///
+    /// # Panics
+    /// Panics if `scratch.dests` length mismatches the particle count.
+    pub fn take_outgoing_packed(&mut self, mut send: impl FnMut(usize, ParticleBatch)) {
+        let n = self.len();
+        let rank = self.rank;
+        let dests = std::mem::take(&mut self.scratch.dests);
+        assert_eq!(dests.len(), n, "dests length mismatch");
+        let nranks = self.all_counts.len().max(rank + 1);
+        let ScratchArena {
+            counts,
+            pack_keys,
+            pack_data,
+            ..
+        } = &mut self.scratch;
+        counts.clear();
+        counts.resize(nranks, 0);
+        let mut movers = 0usize;
+        for &d in &dests {
+            if d != rank {
+                counts[d] += 1;
+                movers += 1;
+            }
+        }
+        if movers == 0 {
+            self.scratch.dests = dests;
+            return;
+        }
+        // exclusive prefix sum: counts[d] becomes dest d's write cursor
+        let mut off = 0usize;
+        for c in counts.iter_mut() {
+            let here = *c;
+            *c = off;
+            off += here;
+        }
+        let kbuf = reuse_arc_buf(pack_keys);
+        kbuf.resize(movers, 0);
+        let dbuf = reuse_arc_buf(pack_data);
+        dbuf.resize(movers * 5, 0.0);
+        // one pass: movers scatter to their destination region (stable
+        // in original order), survivors compact to the front
+        let mut w = 0usize;
+        for (i, &d) in dests.iter().enumerate() {
+            if d == rank {
+                if w != i {
+                    self.keys[w] = self.keys[i];
+                    self.particles.x[w] = self.particles.x[i];
+                    self.particles.y[w] = self.particles.y[i];
+                    self.particles.ux[w] = self.particles.ux[i];
+                    self.particles.uy[w] = self.particles.uy[i];
+                    self.particles.uz[w] = self.particles.uz[i];
+                }
+                w += 1;
+            } else {
+                let pos = counts[d];
+                counts[d] += 1;
+                kbuf[pos] = self.keys[i];
+                let o = pos * 5;
+                dbuf[o] = self.particles.x[i];
+                dbuf[o + 1] = self.particles.y[i];
+                dbuf[o + 2] = self.particles.ux[i];
+                dbuf[o + 3] = self.particles.uy[i];
+                dbuf[o + 4] = self.particles.uz[i];
+            }
+        }
+        self.keys.truncate(w);
+        self.particles.truncate(w);
+        // counts[d] is now dest d's END offset; regions tile [0, movers)
+        // in ascending dest order, so a cursor walk recovers the windows
+        let keys_arc = self.scratch.pack_keys.clone();
+        let data_arc = self.scratch.pack_data.clone();
+        let mut start = 0usize;
+        for d in 0..nranks {
+            let end = self.scratch.counts[d];
+            if end > start {
+                send(
+                    d,
+                    ParticleBatch::view(keys_arc.clone(), data_arc.clone(), start, end),
+                );
+            }
+            start = end;
+        }
+        self.scratch.dests = dests;
     }
 
     /// Append a received batch to the local arrays (unsorted; a local
     /// sort follows in the redistribution sequence).
     pub fn append_batch(&mut self, batch: &ParticleBatch) {
         self.particles.reserve(batch.len());
-        for i in 0..batch.len() {
-            let c = batch.coords(i);
+        self.keys.extend_from_slice(batch.keys());
+        for c in batch.interleaved().chunks_exact(5) {
             self.particles.push(c[0], c[1], c[2], c[3], c[4]);
-            self.keys.push(batch.keys[i]);
         }
     }
 
     /// Sort the local particles by key using the incremental sorter;
     /// returns the modeled comparison count.
+    ///
+    /// Runs entirely on arena buffers: radix/counting sorts for the
+    /// permutation, a key swap through `scratch.keys_tmp`, and one
+    /// cycle-decomposition pass reordering all five attribute arrays —
+    /// zero heap allocations in steady state.
     pub fn sort_local(&mut self) -> f64 {
-        let result = self.sorter.sort_incremental(&self.keys);
-        let sorted_keys: Vec<u64> = result.order.iter().map(|&i| self.keys[i]).collect();
-        self.particles.apply_order(&result.order);
-        self.keys = sorted_keys;
-        result.comparisons
+        let ScratchArena {
+            order,
+            bucket_sizes,
+            radix,
+            keys_tmp,
+            visited,
+            ..
+        } = &mut self.scratch;
+        let cmp = self
+            .sorter
+            .sort_incremental_into(&self.keys, order, bucket_sizes, radix);
+        keys_tmp.clear();
+        keys_tmp.extend(order.iter().map(|&i| self.keys[i]));
+        std::mem::swap(&mut self.keys, keys_tmp);
+        self.particles.apply_order_in_place(order, visited);
+        cmp
     }
 
     /// Rebuild the sorter's bucket boundaries from the (sorted) keys.
@@ -190,11 +277,36 @@ mod tests {
         assert_eq!(st.keys, vec![0, 20]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, 0);
-        assert_eq!(out[0].1.keys, vec![10, 30]);
+        assert_eq!(out[0].1.keys(), &[10, 30][..]);
         assert_eq!(out[1].0, 2);
-        assert_eq!(out[1].1.keys, vec![40, 50]);
+        assert_eq!(out[1].1.keys(), &[40, 50][..]);
         // phase space rode along
         assert_eq!(out[1].1.coords(0)[0], 4.0);
+    }
+
+    #[test]
+    fn outgoing_batches_share_one_pack_buffer() {
+        let mut st = state_with_particles();
+        let dests = vec![1, 0, 1, 0, 2, 2];
+        let out = st.take_outgoing(&dests);
+        // both batches window the same packed allocation
+        assert_eq!(out.len(), 2);
+        let all_keys: Vec<u64> = out.iter().flat_map(|(_, b)| b.keys().to_vec()).collect();
+        assert_eq!(all_keys, vec![10, 30, 40, 50]);
+        drop(out);
+        // once the views are dropped the arena can reclaim the buffers:
+        // a second exchange must reuse the same allocation
+        let ptr = st.scratch.pack_keys.as_ptr();
+        st.particles.push(6.0, 6.0, 0.0, 0.0, 0.0);
+        st.particles.push(7.0, 7.0, 0.0, 0.0, 0.0);
+        st.keys.push(60);
+        st.keys.push(70);
+        let out2 = st.take_outgoing(&[0, 1, 0, 1]);
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].0, 0);
+        assert_eq!(out2[0].1.keys(), &[0, 60][..]);
+        assert_eq!(st.keys, vec![20, 70]);
+        assert_eq!(st.scratch.pack_keys.as_ptr(), ptr, "pack buffer not reused");
     }
 
     #[test]

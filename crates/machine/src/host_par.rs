@@ -4,8 +4,35 @@
 //! rank states are split into contiguous chunks, one chunk per host core,
 //! and results are reassembled in rank order, so execution order can never
 //! leak into results (ranks only interact at superstep boundaries anyway).
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be pinned with the `PIC_HOST_THREADS` environment variable
+//! (any positive integer; invalid or zero values are ignored).  Pinning
+//! matters for reproducible benchmark numbers on shared CI runners,
+//! where the visible core count varies between runs — `BENCH_hot_path`
+//! comparisons should set it explicitly.
 
+use std::sync::OnceLock;
 use std::thread;
+
+/// Worker count override from `PIC_HOST_THREADS`, read once per process
+/// (the first `par_map` call wins; benches set the variable up front).
+fn host_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(v) = std::env::var("PIC_HOST_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+            eprintln!("PIC_HOST_THREADS={v:?} is not a positive integer; ignoring");
+        }
+        thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    })
+}
 
 /// Apply `f` to every `(rank, state, arg)` triple, possibly across host
 /// threads, returning outputs in rank order.  Falls back to a plain loop
@@ -19,10 +46,7 @@ where
 {
     let n = states.len();
     debug_assert_eq!(n, args.len());
-    let workers = thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = host_workers().min(n);
     if workers <= 1 {
         return states
             .iter_mut()

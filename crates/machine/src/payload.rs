@@ -55,6 +55,15 @@ impl Payload for Vec<(u32, [f64; 6])> {
     }
 }
 
+/// Shared payloads are free to clone and charge the inner wire size:
+/// zero-copy fan-out wraps one packed buffer in an `Arc` and sends the
+/// same bytes to several destinations (each still pays μ per byte).
+impl<T: Payload + Send + Sync> Payload for std::sync::Arc<T> {
+    fn size_bytes(&self) -> usize {
+        self.as_ref().size_bytes()
+    }
+}
+
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn size_bytes(&self) -> usize {
         self.0.size_bytes() + self.1.size_bytes()

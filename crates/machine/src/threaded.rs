@@ -16,9 +16,9 @@
 //!
 //! [`Mailbox`] implements the collectives the phases need on top of plain
 //! sends: [`Mailbox::allgather`], [`Mailbox::allgatherv`], the all-to-many
-//! [`Mailbox::exchange`] with a message-count handshake (every rank first
-//! tells every peer how many messages to expect, then streams them), and a
-//! dissemination [`Mailbox::barrier`].
+//! [`Mailbox::exchange`] (every rank sends every peer one batch wire —
+//! possibly empty, which doubles as the "nothing from me" handshake), and
+//! a dissemination [`Mailbox::barrier`].
 //!
 //! ## Failure semantics
 //!
@@ -92,13 +92,15 @@ pub(crate) struct PoisonedBy(pub(crate) usize);
 pub(crate) enum Wire<M> {
     /// One point-to-point message.
     Msg(M),
-    /// One payload message of collective `seq` ([`Mailbox::exchange`]).
-    Part(u64, M),
+    /// Everything one rank sends this destination in exchange collective
+    /// `seq`, in send order (possibly empty — the empty batch doubles as
+    /// the "nothing from me" handshake).  One wire per rank pair keeps
+    /// the wakeup count of an exchange at `p` per rank, where a
+    /// count-then-stream protocol would wake a blocked receiver once per
+    /// message — painful when ranks outnumber host cores.
+    Batch(u64, Vec<M>),
     /// A whole vector contributed to vector collective `seq`.
     Many(u64, Vec<M>),
-    /// Count handshake of exchange collective `seq`: "expect this many
-    /// payloads from me in this exchange".
-    Count(u64, usize),
     /// Dissemination-barrier token of collective `seq`, for the given
     /// round.
     Barrier(u64, u32),
@@ -195,7 +197,9 @@ impl<M: Send> Mailbox<M> {
     }
 
     /// Abort the rank if a kill fault is armed for it right now.
-    fn check_kill(&self) {
+    /// `pub(crate)` so the engine's communication-free `local_step` can
+    /// honor kill faults without paying for an (empty) exchange.
+    pub(crate) fn check_kill(&self) {
         if let Some(fault) = &self.fault {
             if fault.should_kill() {
                 panic_any(RankFailure::Killed {
@@ -327,14 +331,14 @@ impl<M: Send> Mailbox<M> {
         msgs
     }
 
-    /// All-to-many exchange with a message-count handshake: every rank
-    /// first tells every peer how many messages to expect, then streams
-    /// the payloads.  Self-addressed messages round-trip through the
-    /// rank's own channel.  Returns the inbox sorted by sender rank with
-    /// per-sender order preserved — exactly the modeled machine's
-    /// delivery order (an injected reorder fault only scrambles which
-    /// *destination* is served first; per-destination order is kept, so
-    /// results never change).
+    /// All-to-many exchange: every rank sends every peer (including
+    /// itself, round-tripping through its own channel) exactly one batch
+    /// wire carrying all its messages for that destination — an empty
+    /// batch doubles as the "nothing from me" handshake.  Returns the
+    /// inbox sorted by sender rank with per-sender order preserved —
+    /// exactly the modeled machine's delivery order (an injected reorder
+    /// fault only scrambles which *destination* is served first;
+    /// per-destination order is kept, so results never change).
     pub fn exchange(&mut self, outgoing: Vec<(usize, M)>) -> Vec<(usize, M)> {
         self.check_kill();
         self.seq += 1;
@@ -356,65 +360,41 @@ impl<M: Send> Mailbox<M> {
             None => (0..p).collect(),
         };
         for &to in &order {
-            self.push_wire(to, Wire::Count(seq, groups[to].len()));
+            let batch = std::mem::take(&mut groups[to]);
+            self.push_wire(to, Wire::Batch(seq, batch));
         }
-        for &to in &order {
-            for msg in std::mem::take(&mut groups[to]) {
-                self.push_wire(to, Wire::Part(seq, msg));
-            }
-        }
-        // collect until every peer's count is known and fulfilled
-        let mut expected: Vec<Option<usize>> = vec![None; p];
-        let mut got: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
-        let done = |expected: &[Option<usize>], got: &[Vec<M>]| {
-            expected
-                .iter()
-                .zip(got)
-                .all(|(e, g)| e.map(|n| g.len() == n).unwrap_or(false))
-        };
-        while !done(&expected, &got) {
+        // collect until every peer's batch (possibly empty) has arrived
+        let mut got: Vec<Option<Vec<M>>> = (0..p).map(|_| None).collect();
+        while got.iter().any(Option::is_none) {
             let (from, wire) = {
-                let expected = &expected;
                 let got = &got;
                 self.next_matching(
                     "exchange",
-                    move |w| matches!(w, Wire::Count(s, _) | Wire::Part(s, _) if *s == seq),
+                    move |w| matches!(w, Wire::Batch(s, _) if *s == seq),
                     move || {
-                        let all_known = expected.iter().all(Option::is_some);
-                        let total = if all_known {
-                            expected.iter().map(|e| e.unwrap_or(0)).sum()
-                        } else {
-                            0 // unknown until every handshake arrives
-                        };
-                        let received = got.iter().map(Vec::len).sum();
-                        let in_flight = expected
-                            .iter()
-                            .zip(got)
-                            .map(|(e, g)| match e {
-                                Some(n) => n.saturating_sub(g.len()),
-                                None => 1, // at least the handshake itself
-                            })
-                            .collect();
-                        (total, received, in_flight)
+                        let received = got.iter().filter(|g| g.is_some()).count();
+                        let in_flight = got.iter().map(|g| usize::from(g.is_none())).collect();
+                        (p, received, in_flight)
                     },
                 )
             };
-            match wire {
-                Wire::Count(_, n) => {
-                    assert!(
-                        expected[from].is_none(),
-                        "rank {from} sent two exchange handshakes"
-                    );
-                    expected[from] = Some(n);
-                }
-                Wire::Part(_, m) => got[from].push(m),
-                _ => unreachable!("next_matching returned a non-exchange wire"),
-            }
+            let Wire::Batch(_, msgs) = wire else {
+                unreachable!("next_matching returned a non-exchange wire")
+            };
+            assert!(
+                got[from].is_none(),
+                "rank {from} sent two batches in one exchange"
+            );
+            got[from] = Some(msgs);
         }
         self.flush_lost();
         got.into_iter()
             .enumerate()
-            .flat_map(|(from, msgs)| msgs.into_iter().map(move |m| (from, m)))
+            .flat_map(|(from, msgs)| {
+                msgs.expect("all filled")
+                    .into_iter()
+                    .map(move |m| (from, m))
+            })
             .collect()
     }
 

@@ -12,10 +12,29 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::radix::{radix_sort_indices, radix_sorted_order_into, RadixScratch};
+
 /// Stable sorted-order permutation: `order[i]` is the original index of
 /// the `i`-th smallest key.  Equal keys keep their original relative
 /// order, which keeps redistribution deterministic.
+///
+/// Runs on the radix path (bit-identical to the historical comparison
+/// sort, see [`sorted_order_comparison`]); allocation-sensitive callers
+/// should use [`crate::radix::radix_sorted_order_into`] with a reused
+/// scratch instead.
 pub fn sorted_order(keys: &[u64]) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut scratch = RadixScratch::default();
+    radix_sorted_order_into(keys, &mut order, &mut scratch);
+    order
+}
+
+/// The historical comparison-sort path: materialize `(key, index)`
+/// tuples and `sort_by_key`.  Kept as the reference oracle for the
+/// radix path (debug asserts, proptests, and the key-sort microbench
+/// in `hot_path_baseline`); the hot path itself uses
+/// [`crate::radix::radix_sorted_order_into`].
+pub fn sorted_order_comparison(keys: &[u64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..keys.len()).collect();
     order.sort_by_key(|&i| (keys[i], i));
     order
@@ -97,32 +116,77 @@ impl BucketIncrementalSorter {
     ///
     /// Correct for *any* input (falls back to one big bucket before the
     /// first rebuild); cheap when the input is close to sorted.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`Self::sort_incremental_into`] for tests and benches; the hot
+    /// path reuses caller-owned buffers.
     pub fn sort_incremental(&self, keys: &[u64]) -> IncrementalClassification {
-        let n = keys.len();
-        let nb = self.bounds.len() + 1;
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nb];
-        for (i, &k) in keys.iter().enumerate() {
-            buckets[self.bucket_of(k)].push(i);
-        }
-        let classify_cmp = n as f64 * (nb.max(2) as f64).log2().ceil();
-        let mut comparisons = classify_cmp;
-        let mut order = Vec::with_capacity(n);
-        let mut bucket_sizes = Vec::with_capacity(nb);
-        for bucket in &mut buckets {
-            let nb_len = bucket.len();
-            bucket_sizes.push(nb_len);
-            if nb_len > 1 {
-                let runs = count_runs(keys, bucket);
-                comparisons += nb_len as f64 * (runs.max(2) as f64).log2();
-            }
-            bucket.sort_by_key(|&i| (keys[i], i));
-            order.extend_from_slice(bucket);
-        }
+        let mut order = Vec::new();
+        let mut bucket_sizes = Vec::new();
+        let mut scratch = RadixScratch::default();
+        let comparisons =
+            self.sort_incremental_into(keys, &mut order, &mut bucket_sizes, &mut scratch);
         IncrementalClassification {
             order,
             bucket_sizes,
             comparisons,
         }
+    }
+
+    /// Allocation-free incremental sort into caller-owned buffers:
+    /// `order` receives the stable permutation, `bucket_sizes` the
+    /// per-bucket key counts, and the modeled comparison count is
+    /// returned (see [`IncrementalClassification::comparisons`] for the
+    /// cost model — identical to the historical comparison-sort path).
+    ///
+    /// Classification is a stable counting scatter (histogram of bucket
+    /// ids, exclusive prefix sum, ordered placement), and each bucket
+    /// slice is then sorted by [`radix_sort_indices`] — no `(key,
+    /// index)` tuples, no per-bucket `Vec`s.  Steady-state calls with a
+    /// warmed-up scratch perform zero heap allocations.
+    pub fn sort_incremental_into(
+        &self,
+        keys: &[u64],
+        order: &mut Vec<usize>,
+        bucket_sizes: &mut Vec<usize>,
+        scratch: &mut RadixScratch,
+    ) -> f64 {
+        let n = keys.len();
+        let nb = self.bounds.len() + 1;
+        bucket_sizes.clear();
+        bucket_sizes.resize(nb, 0);
+        for &k in keys {
+            bucket_sizes[self.bucket_of(k)] += 1;
+        }
+        // exclusive prefix sum -> write offsets (scratch.counts is free
+        // here; the per-bucket sorts below reuse it afterwards)
+        scratch.counts.clear();
+        scratch.counts.resize(nb, 0);
+        let mut off = 0usize;
+        for (b, c) in bucket_sizes.iter().enumerate() {
+            scratch.counts[b] = off;
+            off += c;
+        }
+        order.clear();
+        order.resize(n, 0);
+        for (i, &k) in keys.iter().enumerate() {
+            let b = self.bucket_of(k);
+            order[scratch.counts[b]] = i;
+            scratch.counts[b] += 1;
+        }
+        let classify_cmp = n as f64 * (nb.max(2) as f64).log2().ceil();
+        let mut comparisons = classify_cmp;
+        let mut start = 0usize;
+        for &len in bucket_sizes.iter().take(nb) {
+            let bucket = &mut order[start..start + len];
+            start += len;
+            if len > 1 {
+                let runs = count_runs(keys, bucket);
+                comparisons += len as f64 * (runs.max(2) as f64).log2();
+                radix_sort_indices(keys, bucket, scratch);
+            }
+        }
+        comparisons
     }
 }
 

@@ -30,9 +30,25 @@ pub fn particle_key(indexer: &dyn CellIndexer, x: f64, y: f64, dx: f64, dy: f64)
 /// Keys for a whole particle array (the per-iteration indexing pass of
 /// `Particle_Redistribution`, paper Figure 12 line 1).
 pub fn assign_keys(p: &Particles, indexer: &dyn CellIndexer, dx: f64, dy: f64) -> Vec<u64> {
-    (0..p.len())
-        .map(|i| particle_key(indexer, p.x[i], p.y[i], dx, dy))
-        .collect()
+    let mut keys = Vec::new();
+    assign_keys_into(p, indexer, dx, dy, &mut keys);
+    keys
+}
+
+/// [`assign_keys`] into a caller-owned buffer — the per-iteration hot
+/// path reuses one key vector per rank instead of reallocating.
+pub fn assign_keys_into(
+    p: &Particles,
+    indexer: &dyn CellIndexer,
+    dx: f64,
+    dy: f64,
+    keys: &mut Vec<u64>,
+) {
+    keys.clear();
+    keys.reserve(p.len());
+    for i in 0..p.len() {
+        keys.push(particle_key(indexer, p.x[i], p.y[i], dx, dy));
+    }
 }
 
 #[cfg(test)]

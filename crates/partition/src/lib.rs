@@ -31,15 +31,20 @@ pub mod bucket;
 pub mod key;
 pub mod metrics;
 pub mod policy;
+pub mod radix;
 pub mod sample_sort;
 
 pub use balance::{balance_targets, order_maintaining_balance, BalancePlan};
 pub use block::sfc_block_layout;
-pub use bucket::{sorted_order, BucketIncrementalSorter, IncrementalClassification};
-pub use key::{assign_keys, cell_of, particle_key};
+pub use bucket::{
+    sorted_order, sorted_order_comparison, BucketIncrementalSorter, IncrementalClassification,
+};
+pub use key::{assign_keys, assign_keys_into, cell_of, particle_key};
 pub use metrics::{alignment_report, AlignmentReport};
 pub use policy::{DynamicSarPolicy, PeriodicPolicy, StaticPolicy};
 pub use policy::{PolicyKind, PolicyState, RedistributionPolicy};
+pub use radix::{radix_sort_indices, radix_sorted_order_into, RadixScratch};
 pub use sample_sort::{
-    classify_by_bounds, rank_bounds_from_sorted, regular_sample, select_splitters,
+    classify_by_bounds, classify_by_bounds_into, rank_bounds_from_sorted, regular_sample,
+    select_splitters,
 };

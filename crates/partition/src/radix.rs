@@ -1,0 +1,292 @@
+//! LSD radix (counting) sort specialized for bounded curve keys.
+//!
+//! Particle keys are cell indices along the space-filling curve, so they
+//! are bounded by the number of mesh cells — a handful of significant
+//! bytes, never 64 bits.  An LSD counting sort therefore replaces the
+//! `O(n log n)` comparison sorts of the redistribution path with a few
+//! `O(n)` passes, and it only runs the byte positions where keys in the
+//! input actually *differ* (computed from the XOR-fold of the keys), so
+//! a nearly-uniform bucket costs one pass or none at all.
+//!
+//! Stability is load-bearing: equal keys must keep their original
+//! relative order so redistribution stays deterministic and the
+//! modeled/threaded executors remain bit-identical.  Counting sort is
+//! stable by construction, and in debug builds every call is verified
+//! against the historical comparison-sort path
+//! ([`crate::bucket::sorted_order_comparison`]'s `(key, index)` order),
+//! which stays in the tree as the oracle.
+//!
+//! All entry points take a caller-owned [`RadixScratch`] so steady-state
+//! callers (the per-rank sort kernels) perform zero heap allocations
+//! once the scratch buffers have grown to the working-set size.
+
+/// Bits per counting-sort digit.
+const DIGIT_BITS: u32 = 8;
+/// Number of histogram slots per pass.
+const RADIX: usize = 1 << DIGIT_BITS;
+
+/// Reusable buffers for [`radix_sort_indices`] /
+/// [`radix_sorted_order_into`].  Keep one per rank and the sort kernels
+/// allocate nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct RadixScratch {
+    /// Ping-pong permutation buffer (grown to the largest input seen).
+    pub idx: Vec<usize>,
+    /// Digit histogram (grown to the 256-slot radix on first use).
+    pub counts: Vec<usize>,
+}
+
+/// Stable-sort `idx` (indices into `keys`) in place by `keys[i]`,
+/// preserving the existing order of entries with equal keys.
+///
+/// Runs one counting pass per byte position where the selected keys
+/// differ; an input already in non-decreasing key order returns without
+/// sorting at all.  In debug builds the result is checked against the
+/// stable comparison-sort oracle.
+///
+/// # Panics
+/// Panics (via indexing) if any entry of `idx` is out of range for
+/// `keys`.
+pub fn radix_sort_indices(keys: &[u64], idx: &mut [usize], scratch: &mut RadixScratch) {
+    #[cfg(debug_assertions)]
+    let oracle = {
+        let mut o = idx.to_vec();
+        // stable comparison sort: ties keep the incoming `idx` order,
+        // exactly the tie-break contract the radix path must honor
+        o.sort_by_key(|&i| keys[i]);
+        o
+    };
+    radix_sort_indices_impl(keys, idx, scratch);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        idx,
+        oracle.as_slice(),
+        "radix order diverged from the comparison oracle"
+    );
+}
+
+/// Largest `max - min` key range handled by the single-pass counting
+/// fast path (histogram of one `usize` per distinct value).  Covers
+/// every paper mesh (`nx * ny` cells) in one pass; wider ranges fall
+/// back to byte-wise passes.
+const COUNTING_MAX_RANGE: u64 = 1 << 16;
+
+fn radix_sort_indices_impl(keys: &[u64], idx: &mut [usize], scratch: &mut RadixScratch) {
+    let n = idx.len();
+    if n <= 1 {
+        return;
+    }
+    // One prep pass: find the key range and the byte positions worth
+    // sorting (where some pair of keys differs), and detect
+    // already-sorted input.
+    let first = keys[idx[0]];
+    let mut diff = 0u64;
+    let mut sorted = true;
+    let mut prev = first;
+    let mut min = first;
+    let mut max = first;
+    for &i in idx.iter() {
+        let k = keys[i];
+        diff |= k ^ first;
+        if k < prev {
+            sorted = false;
+        }
+        prev = k;
+        min = min.min(k);
+        max = max.max(k);
+    }
+    if sorted {
+        // non-decreasing keys: the incoming order IS the stable answer
+        return;
+    }
+    if max - min < COUNTING_MAX_RANGE {
+        // bounded domain (the PIC case: curve keys < cells): one stable
+        // counting pass over `key - min` replaces every byte pass
+        counting_sort_indices(keys, idx, scratch, min, (max - min) as usize + 1);
+        return;
+    }
+    let RadixScratch { idx: aux, counts } = scratch;
+    aux.clear();
+    aux.resize(n, 0);
+    counts.clear();
+    counts.resize(RADIX, 0);
+    let mut in_place = true; // current data lives in `idx` (vs `aux`)
+    let mut shift = 0u32;
+    let mut remaining = diff;
+    while remaining != 0 {
+        if remaining & (RADIX as u64 - 1) != 0 {
+            {
+                let (src, dst): (&[usize], &mut [usize]) = if in_place {
+                    (idx, aux.as_mut_slice())
+                } else {
+                    (aux.as_slice(), idx)
+                };
+                for c in counts.iter_mut() {
+                    *c = 0;
+                }
+                for &i in src {
+                    counts[((keys[i] >> shift) & (RADIX as u64 - 1)) as usize] += 1;
+                }
+                let mut sum = 0usize;
+                for c in counts.iter_mut() {
+                    let here = *c;
+                    *c = sum;
+                    sum += here;
+                }
+                for &i in src {
+                    let d = ((keys[i] >> shift) & (RADIX as u64 - 1)) as usize;
+                    dst[counts[d]] = i;
+                    counts[d] += 1;
+                }
+            }
+            in_place = !in_place;
+        }
+        remaining >>= DIGIT_BITS;
+        shift += DIGIT_BITS;
+    }
+    if !in_place {
+        idx.copy_from_slice(aux);
+    }
+}
+
+/// One stable counting pass over a small key range: histogram of
+/// `key - min` (range `slots`), exclusive prefix sum, ordered scatter.
+fn counting_sort_indices(
+    keys: &[u64],
+    idx: &mut [usize],
+    scratch: &mut RadixScratch,
+    min: u64,
+    slots: usize,
+) {
+    let RadixScratch { idx: aux, counts } = scratch;
+    aux.clear();
+    aux.resize(idx.len(), 0);
+    counts.clear();
+    counts.resize(slots, 0);
+    for &i in idx.iter() {
+        counts[(keys[i] - min) as usize] += 1;
+    }
+    let mut sum = 0usize;
+    for c in counts.iter_mut() {
+        let here = *c;
+        *c = sum;
+        sum += here;
+    }
+    for &i in idx.iter() {
+        let d = (keys[i] - min) as usize;
+        aux[counts[d]] = i;
+        counts[d] += 1;
+    }
+    idx.copy_from_slice(aux);
+}
+
+/// Fill `order` with the stable sorted-order permutation of `keys`:
+/// `order[i]` is the original index of the `i`-th smallest key, equal
+/// keys in original-index order — bit-for-bit the permutation of the
+/// historical `sort_by_key` on `(key, index)` tuples, without
+/// materializing the tuples.
+pub fn radix_sorted_order_into(keys: &[u64], order: &mut Vec<usize>, scratch: &mut RadixScratch) {
+    order.clear();
+    order.extend(0..keys.len());
+    radix_sort_indices(keys, order, scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(keys: &[u64]) -> Vec<usize> {
+        let mut o: Vec<usize> = (0..keys.len()).collect();
+        o.sort_by_key(|&i| (keys[i], i));
+        o
+    }
+
+    fn check(keys: &[u64]) {
+        let mut order = Vec::new();
+        let mut scratch = RadixScratch::default();
+        radix_sorted_order_into(keys, &mut order, &mut scratch);
+        assert_eq!(order, oracle(keys), "keys {keys:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        check(&[]);
+        check(&[42]);
+    }
+
+    #[test]
+    fn matches_oracle_on_small_patterns() {
+        check(&[3, 1, 3, 0, 1]);
+        check(&[0, 0, 0, 0]);
+        check(&[5, 4, 3, 2, 1, 0]);
+        check(&[1, 2, 3, 4, 5]);
+        check(&[u64::MAX, 0, u64::MAX, 1]);
+        check(&[1 << 40, 1, 1 << 40, 0, 255, 256]);
+    }
+
+    #[test]
+    fn matches_oracle_on_bounded_key_domain() {
+        // the PIC case: keys < cells (here 8192), many duplicates
+        let keys: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 8192).collect();
+        check(&keys);
+    }
+
+    #[test]
+    fn stable_on_all_equal_keys() {
+        let keys = vec![7u64; 100];
+        let mut order = Vec::new();
+        let mut scratch = RadixScratch::default();
+        radix_sorted_order_into(&keys, &mut order, &mut scratch);
+        assert_eq!(order, (0..100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn sorts_index_subsets_stably() {
+        let keys = vec![9u64, 2, 9, 2, 0, 5, 2];
+        let mut idx = vec![6, 0, 2, 3, 1]; // arbitrary subset, with dups of key 2
+        let mut scratch = RadixScratch::default();
+        radix_sort_indices(&keys, &mut idx, &mut scratch);
+        // keys: idx6=2, idx0=9, idx2=9, idx3=2, idx1=2 -> stable by key:
+        // 2s keep order (6, 3, 1), then 9s keep order (0, 2)
+        assert_eq!(idx, vec![6, 3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_growing_inputs() {
+        let mut scratch = RadixScratch::default();
+        let mut order = Vec::new();
+        for n in [3usize, 100, 17, 1000] {
+            let keys: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 101).collect();
+            radix_sorted_order_into(&keys, &mut order, &mut scratch);
+            assert_eq!(order, oracle(&keys), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn offset_domain_uses_counting_path() {
+        // small spread around a huge offset: the counting fast path must
+        // rebase on min, not on absolute key values
+        let base = u64::MAX - 10_000;
+        let keys: Vec<u64> = (0..5_000u64).map(|i| base + (i * 7919) % 9_000).collect();
+        check(&keys);
+    }
+
+    #[test]
+    fn range_straddling_counting_threshold() {
+        // just below and just above the single-pass cutoff
+        let narrow: Vec<u64> = (0..2_000u64).map(|i| (i * 31) % ((1 << 16) - 1)).collect();
+        check(&narrow);
+        let wide: Vec<u64> = (0..2_000u64)
+            .map(|i| (i * 131) % ((1 << 16) + 50))
+            .collect();
+        check(&wide);
+    }
+
+    #[test]
+    fn wide_keys_exercise_multiple_passes() {
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)).rotate_left((i % 64) as u32))
+            .collect();
+        check(&keys);
+    }
+}

@@ -59,11 +59,24 @@ pub fn rank_bounds_from_sorted(last_keys: &[u64]) -> Vec<u64> {
 /// # Panics
 /// Panics if `bounds` is empty.
 pub fn classify_by_bounds(keys: &[u64], bounds: &[u64]) -> Vec<usize> {
+    let mut dests = Vec::new();
+    classify_by_bounds_into(keys, bounds, &mut dests);
+    dests
+}
+
+/// [`classify_by_bounds`] into a caller-owned buffer — the hot path
+/// reuses one destination vector per rank.
+///
+/// # Panics
+/// Panics if `bounds` is empty.
+pub fn classify_by_bounds_into(keys: &[u64], bounds: &[u64], dests: &mut Vec<usize>) {
     assert!(!bounds.is_empty(), "no rank bounds");
     let last = bounds.len() - 1;
-    keys.iter()
-        .map(|&k| bounds[..last].partition_point(|&b| b <= k).min(last))
-        .collect()
+    dests.clear();
+    dests.reserve(keys.len());
+    for &k in keys {
+        dests.push(bounds[..last].partition_point(|&b| b <= k).min(last));
+    }
 }
 
 #[cfg(test)]

@@ -3,12 +3,86 @@
 //! just the shapes the paper's workloads produce.
 
 use pic_partition::{
-    balance_targets, classify_by_bounds, order_maintaining_balance, rank_bounds_from_sorted,
-    regular_sample, select_splitters, sorted_order, BucketIncrementalSorter,
+    balance_targets, classify_by_bounds, order_maintaining_balance, radix_sort_indices,
+    radix_sorted_order_into, rank_bounds_from_sorted, regular_sample, select_splitters,
+    sorted_order, sorted_order_comparison, BucketIncrementalSorter, RadixScratch,
 };
 use proptest::prelude::*;
 
+/// The comparison-sort permutation the radix path must reproduce
+/// bit-for-bit: stable order by key, ties by original index.
+fn oracle_order(keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by_key(|&i| (keys[i], i));
+    order
+}
+
 proptest! {
+    /// Radix sort produces the exact permutation of the historical
+    /// comparison sort for arbitrary keys — the property the bit-identical
+    /// cross-validation suite rests on.
+    #[test]
+    fn radix_matches_comparison_oracle(
+        keys in prop::collection::vec(any::<u64>(), 0..400),
+    ) {
+        let mut order: Vec<usize> = Vec::new();
+        let mut scratch = RadixScratch::default();
+        radix_sorted_order_into(&keys, &mut order, &mut scratch);
+        prop_assert_eq!(&order, &oracle_order(&keys));
+        prop_assert_eq!(order, sorted_order_comparison(&keys));
+    }
+
+    /// Narrow-domain keys (the bounded Hilbert-key case that takes the
+    /// single-pass counting path) also match the oracle exactly.
+    #[test]
+    fn radix_matches_oracle_on_narrow_domain(
+        keys in prop::collection::vec(0u64..8192, 0..400),
+        base in any::<u64>(),
+    ) {
+        let shifted: Vec<u64> = keys
+            .iter()
+            .map(|&k| base.saturating_sub(8192).saturating_add(k))
+            .collect();
+        prop_assert_eq!(sorted_order(&shifted), oracle_order(&shifted));
+    }
+
+    /// All-equal keys: the output must be the identity permutation
+    /// (stability leaves ties in original index order).
+    #[test]
+    fn radix_is_identity_on_equal_keys(
+        key in any::<u64>(),
+        n in 0usize..300,
+    ) {
+        let keys = vec![key; n];
+        let expect: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(sorted_order(&keys), expect);
+    }
+
+    /// Already-sorted keys hit the early-exit path and still return the
+    /// oracle permutation.
+    #[test]
+    fn radix_handles_presorted_keys(
+        mut keys in prop::collection::vec(any::<u64>(), 0..400),
+    ) {
+        keys.sort_unstable();
+        prop_assert_eq!(sorted_order(&keys), oracle_order(&keys));
+    }
+
+    /// Sorting an index subset (the per-bucket call shape) is stable and
+    /// agrees with the comparison sort restricted to those indices.
+    #[test]
+    fn radix_sorts_index_subsets(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        picks in prop::collection::vec(any::<usize>(), 0..100),
+    ) {
+        let mut idx: Vec<usize> = picks.iter().map(|p| p % keys.len()).collect();
+        let mut expect = idx.clone();
+        expect.sort_by_key(|&i| keys[i]); // stable: preserves idx order on ties
+        let mut scratch = RadixScratch::default();
+        radix_sort_indices(&keys, &mut idx, &mut scratch);
+        prop_assert_eq!(idx, expect);
+    }
+
     /// Every key classifies into a rank whose bound range contains it.
     #[test]
     fn classification_is_consistent_with_bounds(
