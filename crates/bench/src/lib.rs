@@ -19,6 +19,8 @@
 //! | `baseline_replicated` | Section 3 — Lubeck & Faber replicated mesh vs distributed |
 //! | `ablation_machine` | Section 6.3 remark — machine-constant sensitivity |
 //! | `ablation_dedup` | Section 3.2 / Figure 8 — hash vs direct dedup table |
+//! | `observability_overhead` | tracing/metrics cost gate + Chrome trace export |
+//! | `observability_dashboard` | comm matrix, SAR audit log, model error, HTML dashboard |
 //!
 //! All binaries accept `--iters N` to override the iteration count and
 //! `--quick` for a fast smoke configuration; defaults match the paper.
@@ -26,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod dashboard;
 
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
 pub use chart::render_chart;
+pub use dashboard::render_dashboard;
 
 use pic_core::SimConfig;
 use pic_index::IndexScheme;

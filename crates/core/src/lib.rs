@@ -53,6 +53,7 @@ pub mod scratch;
 pub mod sequential;
 pub mod sim;
 pub mod state;
+pub mod validation;
 
 pub use analysis::{ideal_bounds, PhaseBounds};
 pub use checkpoint::{Checkpoint, CheckpointError, RankSnapshot};
@@ -68,3 +69,4 @@ pub use sim::{
     GenericPicSim, IterationRecord, ParallelPicSim, PhaseBreakdown, SimReport, ThreadedPicSim,
 };
 pub use state::RankState;
+pub use validation::{model_error_report, ModelErrorReport, ModelErrorRow};

@@ -56,6 +56,28 @@ impl ScratchArena {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Total bytes currently reserved across all arena buffers — the
+    /// high-water mark of the rank's transient working set, since arena
+    /// buffers grow but are never shrunk.  Exported as a per-rank gauge
+    /// by the metrics registry.
+    pub fn high_water_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = self.order.capacity() * size_of::<usize>()
+            + self.bucket_sizes.capacity() * size_of::<usize>()
+            + self.dests.capacity() * size_of::<usize>()
+            + self.keys_tmp.capacity() * size_of::<u64>()
+            + self.visited.capacity() * size_of::<bool>()
+            + self.counts.capacity() * size_of::<usize>()
+            + self.pack_keys.capacity() * size_of::<u64>()
+            + self.pack_data.capacity() * size_of::<f64>()
+            + self.fields_aos.capacity() * size_of::<[f64; 6]>();
+        bytes += self.radix.idx.capacity() * size_of::<usize>()
+            + self.radix.counts.capacity() * size_of::<usize>();
+        bytes += self.ghost_cache.stamp.capacity() * size_of::<u32>()
+            + self.ghost_cache.vals.capacity() * size_of::<[f64; 6]>();
+        bytes as u64
+    }
 }
 
 /// Direct-address ghost field cache with generation stamping — the same

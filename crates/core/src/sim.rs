@@ -5,11 +5,11 @@ use std::sync::Arc;
 use pic_field::{HaloPlan, MaxwellSolver};
 use pic_index::CellIndexer;
 use pic_machine::{
-    FailureCause, FaultEvent, FaultPlan, IterationEvent, Machine, PhaseKind, Recorder,
-    RedistributionEvent, RedistributionTrigger, SpmdEngine, SpmdError, StatsLog, SuperstepStats,
-    ThreadedMachine, TraceEvent,
+    FailureCause, FaultEvent, FaultPlan, IterationEvent, Machine, PhaseKind, PolicyDecisionEvent,
+    RankLoadEvent, Recorder, RedistributionEvent, RedistributionTrigger, SharedMetrics, SpmdEngine,
+    SpmdError, StatsLog, SuperstepStats, ThreadedMachine, TraceEvent,
 };
-use pic_partition::{sfc_block_layout, RedistributionPolicy};
+use pic_partition::{sfc_block_layout, PolicyDecision, RedistributionPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{Checkpoint, RankSnapshot};
@@ -253,8 +253,29 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         plan: Option<Arc<FaultPlan>>,
         recorder: Option<Box<dyn Recorder>>,
     ) -> Result<Self, SpmdError> {
+        Self::try_new_observed(cfg, plan, recorder, None)
+    }
+
+    /// [`GenericPicSim::try_new_traced`] with a [`SharedMetrics`]
+    /// registry additionally installed *before* the initial
+    /// distribution, so the setup collectives count toward the
+    /// communication matrix and the structure gauges (alignment,
+    /// curve locality) are sampled at startup.
+    ///
+    /// # Errors
+    /// Returns the [`SpmdError`] when the initial distribution fails.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn try_new_observed(
+        cfg: SimConfig,
+        plan: Option<Arc<FaultPlan>>,
+        recorder: Option<Box<dyn Recorder>>,
+        metrics: Option<SharedMetrics>,
+    ) -> Result<Self, SpmdError> {
         let mut sim = Self::construct(cfg, true);
         sim.machine.set_recorder(recorder);
+        sim.machine.set_metrics(metrics);
         sim.machine.set_fault_plan(plan);
         sim.machine.set_fault_epoch(0);
         // initial distribution (also under Eulerian: a one-time spatial
@@ -275,6 +296,7 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
             trigger: RedistributionTrigger::Setup,
             cost_s: cost,
         }));
+        sim.sample_structure_gauges();
         Ok(sim)
     }
 
@@ -283,6 +305,72 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         if let Some(rec) = self.machine.recorder_mut() {
             rec.record(&event);
         }
+    }
+
+    /// Sample the *structure* gauges — curve-locality statistics
+    /// ([`pic_index::locality`]) and particle/block alignment
+    /// ([`pic_partition::alignment_report`]) — into the metrics
+    /// registry, if one is installed.  These cost `O(mesh)` and
+    /// `O(particles)` to compute, so they are sampled only at setup and
+    /// after each redistribution (when they actually change), never per
+    /// iteration; see DESIGN.md §10 for the overhead policy.
+    fn sample_structure_gauges(&mut self) {
+        let Some(metrics) = self.machine.metrics() else {
+            return;
+        };
+        let jumps = pic_index::locality::neighbor_jump_stats(self.indexer.as_ref());
+        let parts = self.machine.num_ranks().min(self.indexer.len());
+        let ranges = pic_index::locality::range_bbox_stats(self.indexer.as_ref(), parts);
+        let reports = self.alignment();
+        metrics.with(|reg| {
+            reg.set_gauge("pic_curve_jump_mean", jumps.mean);
+            reg.set_gauge("pic_curve_unit_fraction", jumps.unit_fraction);
+            reg.set_gauge("pic_range_mean_aspect", ranges.mean_aspect);
+            reg.set_gauge("pic_range_mean_fill", ranges.mean_fill);
+            for (rank, rep) in reports.iter().enumerate() {
+                reg.set_rank_gauge("pic_rank_overlap_fraction", rank, rep.overlap_fraction);
+                reg.set_rank_gauge("pic_rank_ghost_cells", rank, rep.ghost_cells as f64);
+            }
+        });
+    }
+
+    /// Per-iteration load observation: a [`RankLoadEvent`] for the trace
+    /// (per-rank particle counts, the input to the dashboard's
+    /// imbalance-over-time chart and Perfetto's load counters) plus the
+    /// cheap `O(p)` gauges and counters for the registry.
+    fn observe_iteration(&mut self, counts: &[usize], redistributed: bool) {
+        let now_s = self.machine.elapsed_s();
+        if self.machine.recorder_mut().is_some() {
+            self.emit(TraceEvent::RankLoad(RankLoadEvent {
+                iter: self.iter as u64,
+                time_s: now_s,
+                counts: counts.iter().map(|&c| c as u64).collect(),
+            }));
+        }
+        let Some(metrics) = self.machine.metrics() else {
+            return;
+        };
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let total: usize = counts.iter().sum();
+        let mean = total as f64 / counts.len().max(1) as f64;
+        let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        let scratch: Vec<f64> = self
+            .machine
+            .ranks()
+            .iter()
+            .map(|st| st.scratch.high_water_bytes() as f64)
+            .collect();
+        metrics.with(|reg| {
+            reg.inc("pic_iterations_total", 1);
+            if redistributed {
+                reg.inc("pic_redistributions_total", 1);
+            }
+            reg.set_gauge("pic_imbalance_factor", imbalance);
+            for (rank, &c) in counts.iter().enumerate() {
+                reg.set_rank_gauge("pic_rank_particles", rank, c as f64);
+                reg.set_rank_gauge("pic_rank_scratch_high_water_bytes", rank, scratch[rank]);
+            }
+        });
     }
 
     /// Install (or clear) an observability sink on the executor.  All
@@ -304,6 +392,21 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
     /// flush it or append their own events to the stream).
     pub fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)> {
         self.machine.recorder_mut()
+    }
+
+    /// Install (or clear) a metrics registry on the executor.  All
+    /// subsequent supersteps and collectives feed the per-phase families
+    /// and the rank-pair communication matrix; the driver additionally
+    /// maintains iteration/redistribution/fault counters and the load
+    /// gauges.  To also capture setup, use
+    /// [`GenericPicSim::try_new_observed`].
+    pub fn set_metrics(&mut self, metrics: Option<SharedMetrics>) {
+        self.machine.set_metrics(metrics);
+    }
+
+    /// A handle to the installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<SharedMetrics> {
+        self.machine.metrics()
     }
 
     /// [`GenericPicSim::try_new`], panicking on failure (the historical
@@ -410,6 +513,9 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
                     epoch: err.epoch,
                     cause: err.cause.to_string(),
                 }));
+                if let Some(metrics) = self.machine.metrics() {
+                    metrics.with(|reg| reg.inc("pic_faults_total", 1));
+                }
                 Err(err)
             }
         }
@@ -457,30 +563,63 @@ impl<E: SpmdEngine<RankState>> GenericPicSim<E> {
         // redistribution decision (Lagrangian only)
         let mut redistributed = false;
         let mut redistribute_s = 0.0;
-        if self.cfg.movement == MovementMethod::Lagrangian
-            && self.policy.should_redistribute(self.iter, time_s)
-        {
-            let env = PhaseEnv {
-                cfg: &self.cfg,
-                layout: &self.layout,
-                halo: &self.halo,
-                indexer: self.indexer.as_ref(),
-                solver: &self.solver,
-            };
-            redistribute_s = phases::redistribute::run(&mut self.machine, &env, false)?;
-            self.policy.notify_redistributed(self.iter, redistribute_s);
-            self.redistributions += 1;
-            self.redistribute_total_s += redistribute_s;
-            redistributed = true;
-            self.breakdown.absorb(&self.machine.stats_mut().drain());
-            self.emit(TraceEvent::Redistribution(RedistributionEvent {
+        if self.cfg.movement == MovementMethod::Lagrangian {
+            let fire = self.policy.should_redistribute(self.iter, time_s);
+            // audit trail: every decision — fired or held — becomes a
+            // trace event, built from the policy's own record when it
+            // keeps one (Stop-At-Rise) and synthesized minimally for
+            // time-blind policies (static, periodic)
+            let decision = self.policy.last_decision().unwrap_or(PolicyDecision {
+                iter: self.iter,
+                observed_s: time_s,
+                baseline_s: f64::NAN,
+                projected_loss_s: f64::NAN,
+                threshold_s: f64::NAN,
+                fired: fire,
+            });
+            let now_s = self.machine.elapsed_s();
+            self.emit(TraceEvent::PolicyDecision(PolicyDecisionEvent {
                 iter: self.iter as u64,
-                trigger: RedistributionTrigger::Policy,
-                cost_s: redistribute_s,
+                time_s: now_s,
+                observed_s: decision.observed_s,
+                baseline_s: decision.baseline_s,
+                projected_loss_s: decision.projected_loss_s,
+                threshold_s: decision.threshold_s,
+                fired: fire,
             }));
+            if let Some(metrics) = self.machine.metrics() {
+                metrics.with(|reg| {
+                    reg.inc("pic_policy_decisions_total", 1);
+                    if fire {
+                        reg.inc("pic_policy_fired_total", 1);
+                    }
+                });
+            }
+            if fire {
+                let env = PhaseEnv {
+                    cfg: &self.cfg,
+                    layout: &self.layout,
+                    halo: &self.halo,
+                    indexer: self.indexer.as_ref(),
+                    solver: &self.solver,
+                };
+                redistribute_s = phases::redistribute::run(&mut self.machine, &env, false)?;
+                self.policy.notify_redistributed(self.iter, redistribute_s);
+                self.redistributions += 1;
+                self.redistribute_total_s += redistribute_s;
+                redistributed = true;
+                self.breakdown.absorb(&self.machine.stats_mut().drain());
+                self.emit(TraceEvent::Redistribution(RedistributionEvent {
+                    iter: self.iter as u64,
+                    trigger: RedistributionTrigger::Policy,
+                    cost_s: redistribute_s,
+                }));
+                self.sample_structure_gauges();
+            }
         }
 
         let counts: Vec<usize> = self.machine.ranks().iter().map(RankState::len).collect();
+        self.observe_iteration(&counts, redistributed);
         Ok(IterationRecord {
             iter: self.iter,
             time_s,

@@ -45,6 +45,7 @@ impl<S: Send> Machine<S> {
             max_comm_s: comm,
             elapsed_s: comm,
         });
+        self.metrics_collective(phase, comm, share_bytes as u64, total_msgs, total_bytes);
         self.trace_collective(
             phase,
             start,
@@ -54,6 +55,23 @@ impl<S: Send> Machine<S> {
             total_msgs,
             total_bytes,
         );
+    }
+
+    /// Feed an installed metrics registry with one collective superstep
+    /// (uniform pair attribution; see [`crate::metrics`]).
+    fn metrics_collective(
+        &mut self,
+        phase: PhaseKind,
+        elapsed_s: f64,
+        share_bytes: u64,
+        total_msgs: u64,
+        total_bytes: u64,
+    ) {
+        if let Some(metrics) = self.metrics() {
+            metrics.with(|reg| {
+                reg.observe_collective(phase, elapsed_s, share_bytes, total_msgs, total_bytes);
+            });
+        }
     }
 
     /// Emit the trace events of a collective: one uniform span per rank
@@ -240,6 +258,7 @@ impl<S: Send> Machine<S> {
             max_comm_s: comm,
             elapsed_s: comm,
         });
+        self.metrics_collective(phase, comm, share_bytes as u64, total_msgs, total_bytes);
         self.trace_collective(
             phase,
             start,

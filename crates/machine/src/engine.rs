@@ -35,6 +35,7 @@ use crate::config::MachineConfig;
 use crate::error::SpmdError;
 use crate::fault::FaultPlan;
 use crate::machine::{ExecMode, Machine, Outbox, PhaseCtx};
+use crate::metrics::SharedMetrics;
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog};
 use crate::trace::Recorder;
@@ -108,6 +109,16 @@ pub trait SpmdEngine<S: Send>: Sized {
     /// to emit their own iteration/redistribution/fault events into the
     /// same stream.
     fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)>;
+
+    /// Install (or clear) a shared metrics registry.  While installed,
+    /// every superstep and collective feeds its phase family and the
+    /// rank-pair communication matrix (see [`crate::metrics`]); the
+    /// registry is locked once per superstep, never per message, and a
+    /// machine without one pays a single branch.
+    fn set_metrics(&mut self, metrics: Option<SharedMetrics>);
+
+    /// A clone of the installed metrics handle, if any.
+    fn metrics(&self) -> Option<SharedMetrics>;
 
     /// Run one superstep: `compute` on every rank (may send messages),
     /// then `deliver` on every rank with its inbox sorted by sender rank
@@ -266,6 +277,14 @@ impl<S: Send> SpmdEngine<S> for Machine<S> {
 
     fn recorder_mut(&mut self) -> Option<&mut (dyn Recorder + '_)> {
         Machine::recorder_mut(self)
+    }
+
+    fn set_metrics(&mut self, metrics: Option<SharedMetrics>) {
+        Machine::set_metrics(self, metrics);
+    }
+
+    fn metrics(&self) -> Option<SharedMetrics> {
+        Machine::metrics(self)
     }
 
     fn superstep<M, F, G>(

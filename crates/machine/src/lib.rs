@@ -59,6 +59,7 @@ pub mod error;
 pub mod fault;
 mod host_par;
 pub mod machine;
+pub mod metrics;
 pub mod payload;
 pub mod stats;
 pub mod threaded;
@@ -71,11 +72,13 @@ pub use engine::SpmdEngine;
 pub use error::{FailureCause, SpmdError, TimeoutDetail};
 pub use fault::{FaultKind, FaultNoise, FaultPlan, FaultSession, FaultSpec, SendFault};
 pub use machine::{ExecMode, Machine, Outbox, PhaseCtx};
+pub use metrics::{CommMatrix, Histogram, MetricsRegistry, PhaseFamily, SharedMetrics};
 pub use payload::Payload;
 pub use stats::{PhaseKind, PhaseTotals, StatsLog, SuperstepStats};
 pub use threaded_engine::ThreadedMachine;
 pub use trace::{
     CheckpointAction, CheckpointEvent, CsvRecorder, FaultEvent, IterationEvent, JsonLinesRecorder,
-    MemoryRecorder, MetricsReport, MultiRecorder, PhaseMetrics, Recorder, RedistributionEvent,
-    RedistributionTrigger, RingRecorder, SharedRecorder, SpanEvent, SuperstepEvent, TraceEvent,
+    MemoryRecorder, MetricsReport, MultiRecorder, PhaseMetrics, PolicyDecisionEvent, RankLoadEvent,
+    Recorder, RedistributionEvent, RedistributionTrigger, RingRecorder, SharedRecorder, SpanEvent,
+    SuperstepEvent, TraceEvent,
 };

@@ -21,6 +21,7 @@ use crate::config::MachineConfig;
 use crate::error::{FailureCause, SpmdError};
 use crate::fault::FaultPlan;
 use crate::host_par;
+use crate::metrics::SharedMetrics;
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
 use crate::trace::{Recorder, SpanEvent, SuperstepEvent, TraceEvent};
@@ -124,6 +125,8 @@ pub struct Machine<S> {
     /// Supersteps/collectives emitted to the recorder.  Separate from
     /// `supersteps`, which only counts engine-trait entry points.
     traced_steps: u64,
+    /// Installed metrics registry, if any (see [`crate::metrics`]).
+    metrics: Option<SharedMetrics>,
 }
 
 impl<S: Send> Machine<S> {
@@ -151,7 +154,20 @@ impl<S: Send> Machine<S> {
             supersteps: 0,
             recorder: None,
             traced_steps: 0,
+            metrics: None,
         }
+    }
+
+    /// Install (or clear) a shared metrics registry.  While installed,
+    /// every superstep and collective feeds its phase family and the
+    /// rank-pair communication matrix (see [`crate::metrics`]).
+    pub fn set_metrics(&mut self, metrics: Option<SharedMetrics>) {
+        self.metrics = metrics;
+    }
+
+    /// A clone of the installed metrics handle, if any.
+    pub fn metrics(&self) -> Option<SharedMetrics> {
+        self.metrics.clone()
     }
 
     /// Install (or clear) an observability sink.  Every subsequent
@@ -324,6 +340,10 @@ impl<S: Send> Machine<S> {
         let mut recv_msgs = vec![0u64; p];
         let mut recv_bytes = vec![0u64; p];
         let mut inboxes: Vec<Vec<(usize, M)>> = (0..p).map(|_| Vec::new()).collect();
+        // Per-pair tallies for the metrics comm matrix; only collected
+        // when a registry is installed so the hot path stays alloc-free.
+        let mut pair_log: Vec<(usize, usize, u64)> = Vec::new();
+        let log_pairs = self.metrics.is_some();
         for (from, (msgs, ops)) in outputs.into_iter().enumerate() {
             compute_ops[from] = ops;
             for (to, msg) in msgs {
@@ -333,6 +353,9 @@ impl<S: Send> Machine<S> {
                     send_bytes[from] += bytes;
                     recv_msgs[to] += 1;
                     recv_bytes[to] += bytes;
+                    if log_pairs {
+                        pair_log.push((from, to, bytes));
+                    }
                 }
                 inboxes[to].push((from, msg));
             }
@@ -396,6 +419,21 @@ impl<S: Send> Machine<S> {
             max_comm_s: max_comm,
             elapsed_s: elapsed,
         });
+
+        if let Some(metrics) = &self.metrics {
+            // One lock per superstep.  The modeled router sees both ends
+            // of every transfer, so sender- and receiver-side matrix
+            // entries are recorded from the same pair log here; the
+            // threaded engine records the two sides from the two ends of
+            // its mailbox exchange.
+            metrics.with(|reg| {
+                for &(from, to, bytes) in &pair_log {
+                    reg.comm_mut().record_send(from, to, 1, bytes);
+                    reg.comm_mut().record_recv(to, from, 1, bytes);
+                }
+                reg.observe_superstep(phase, elapsed, total_msgs, total_bytes);
+            });
+        }
 
         if self.has_recorder() {
             let step = self.next_trace_step();

@@ -28,6 +28,21 @@ pub enum PhaseKind {
 }
 
 impl PhaseKind {
+    /// Every phase, in canonical (pipeline) order.  Aggregators iterate
+    /// this instead of hand-listing variants so a new phase cannot be
+    /// silently dropped from a report (the metrics registry additionally
+    /// carries an exhaustive match that fails to compile on a new
+    /// variant; see `metrics::phase_slot`).
+    pub const ALL: [PhaseKind; 7] = [
+        PhaseKind::Scatter,
+        PhaseKind::FieldSolve,
+        PhaseKind::Gather,
+        PhaseKind::Push,
+        PhaseKind::Redistribute,
+        PhaseKind::Setup,
+        PhaseKind::Other,
+    ];
+
     /// Stable label for CSV output.
     pub fn label(self) -> &'static str {
         match self {

@@ -39,6 +39,7 @@ use crate::engine::SpmdEngine;
 use crate::error::SpmdError;
 use crate::fault::FaultPlan;
 use crate::machine::{ExecMode, Outbox, PhaseCtx};
+use crate::metrics::SharedMetrics;
 use crate::payload::Payload;
 use crate::stats::{PhaseKind, StatsLog, SuperstepStats};
 use crate::threaded::{
@@ -53,6 +54,14 @@ struct RankReport {
     sent_bytes: u64,
     recv_msgs: u64,
     recv_bytes: u64,
+    /// `(to, msgs, bytes)` tallies recorded on the send side of the
+    /// mailbox exchange; populated only when metrics are enabled.
+    sent_pairs: Vec<(usize, u64, u64)>,
+    /// `(from, msgs, bytes)` tallies recorded independently on the
+    /// receive side; populated only when metrics are enabled.  Keeping
+    /// the two sides separate is what lets the comm-matrix conservation
+    /// test (`sent(i→j) == recv(j←i)`) verify the transport end to end.
+    recv_pairs: Vec<(usize, u64, u64)>,
 }
 
 /// A dispatched unit of rank work.  Jobs never unwind: the rank program
@@ -198,6 +207,9 @@ pub struct ThreadedMachine<S> {
     recorder: Option<Box<dyn Recorder>>,
     /// Supersteps/collectives emitted to the recorder.
     traced_steps: u64,
+    /// Installed metrics registry, if any (see [`crate::metrics`]).
+    /// Fed from the driving thread after rank threads join.
+    metrics: Option<SharedMetrics>,
     /// Persistent rank worker threads, created on the first operation.
     pool: Option<RankPool>,
 }
@@ -227,6 +239,7 @@ impl<S: Send> ThreadedMachine<S> {
             supersteps: 0,
             recorder: None,
             traced_steps: 0,
+            metrics: None,
             pool: None,
         }
     }
@@ -339,6 +352,11 @@ impl<S: Send> ThreadedMachine<S> {
             max_comm_s: wall_s,
             elapsed_s: wall_s,
         });
+        if let Some(metrics) = &self.metrics {
+            metrics.with(|reg| {
+                reg.observe_collective(phase, wall_s, share_bytes as u64, total_msgs, total_bytes);
+            });
+        }
         self.trace_collective(
             phase,
             start,
@@ -377,6 +395,19 @@ impl<S: Send> ThreadedMachine<S> {
             max_comm_s: (wall_s - max_compute_s).max(0.0),
             elapsed_s: wall_s,
         });
+        if let Some(metrics) = &self.metrics {
+            metrics.with(|reg| {
+                for (rank, rep) in reports.iter().enumerate() {
+                    for &(to, msgs, bytes) in &rep.sent_pairs {
+                        reg.comm_mut().record_send(rank, to, msgs, bytes);
+                    }
+                    for &(from, msgs, bytes) in &rep.recv_pairs {
+                        reg.comm_mut().record_recv(rank, from, msgs, bytes);
+                    }
+                }
+                reg.observe_superstep(phase, wall_s, total_msgs, total_bytes);
+            });
+        }
         if self.recorder.is_some() {
             let step = self.next_trace_step();
             let epoch = self.fault_epoch;
@@ -556,6 +587,14 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         }
     }
 
+    fn set_metrics(&mut self, metrics: Option<SharedMetrics>) {
+        self.metrics = metrics;
+    }
+
+    fn metrics(&self) -> Option<SharedMetrics> {
+        self.metrics.clone()
+    }
+
     fn superstep<M, F, G>(
         &mut self,
         phase: PhaseKind,
@@ -568,6 +607,7 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
         G: Fn(usize, &mut S, &mut PhaseCtx, Vec<(usize, M)>) + Sync,
     {
         let p = self.cfg.ranks;
+        let track_pairs = self.metrics.is_some();
         let compute = &compute;
         let deliver = &deliver;
         let (reports, wall) = self.run_ranks::<M, RankReport, _>(phase, move |r, s, mut mb| {
@@ -579,18 +619,26 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
             let compute_half = t0.elapsed();
 
             let (mut sent_msgs, mut sent_bytes) = (0u64, 0u64);
+            let mut sent_pairs = Vec::new();
             for (to, msg) in &outgoing {
                 if *to != r {
                     sent_msgs += 1;
                     sent_bytes += msg.size_bytes() as u64;
+                    if track_pairs {
+                        sent_pairs.push((*to, 1, msg.size_bytes() as u64));
+                    }
                 }
             }
             let inbox = mb.exchange(outgoing);
             let (mut recv_msgs, mut recv_bytes) = (0u64, 0u64);
+            let mut recv_pairs = Vec::new();
             for (from, msg) in &inbox {
                 if *from != r {
                     recv_msgs += 1;
                     recv_bytes += msg.size_bytes() as u64;
+                    if track_pairs {
+                        recv_pairs.push((*from, 1, msg.size_bytes() as u64));
+                    }
                 }
             }
 
@@ -608,6 +656,8 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
                 sent_bytes,
                 recv_msgs,
                 recv_bytes,
+                sent_pairs,
+                recv_pairs,
             }
         })?;
         self.record_superstep(phase, &reports, wall);
@@ -636,6 +686,8 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
                 sent_bytes: 0,
                 recv_msgs: 0,
                 recv_bytes: 0,
+                sent_pairs: Vec::new(),
+                recv_pairs: Vec::new(),
             }
         })?;
         self.record_superstep(phase, &reports, wall);
@@ -769,6 +821,11 @@ impl<S: Send> SpmdEngine<S> for ThreadedMachine<S> {
             max_comm_s: wall_s,
             elapsed_s: wall_s,
         });
+        if let Some(metrics) = &self.metrics {
+            metrics.with(|reg| {
+                reg.observe_collective(phase, wall_s, share_bytes as u64, total_msgs, total_bytes);
+            });
+        }
         self.trace_collective(
             phase,
             start,

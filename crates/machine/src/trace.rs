@@ -17,6 +17,8 @@
 //! | [`RedistributionEvent`] | the PIC driver | redistribution (incl. setup) |
 //! | [`FaultEvent`] | driver + recovery | surfaced [`SpmdError`](crate::SpmdError) |
 //! | [`CheckpointEvent`] | the recovery loop | snapshot saved / restored |
+//! | [`PolicyDecisionEvent`] | the PIC driver | redistribution-policy evaluation |
+//! | [`RankLoadEvent`] | the PIC driver | completed iteration (per-rank counts) |
 //!
 //! On the modeled [`Machine`](crate::Machine) span times are **modeled
 //! seconds** under the τ/μ/δ cost model (a span's `compute_s` is
@@ -233,6 +235,44 @@ pub struct CheckpointEvent {
     pub action: CheckpointAction,
 }
 
+/// One evaluation of the redistribution policy, in the terms of the
+/// paper's Stop-At-Rise criterion (Eq. 1): redistribute when the
+/// projected loss `(t1 - t0) · (i1 - i0)` reaches the redistribution
+/// cost `T_redist`.  Emitted by the driver after every policy query so
+/// each redistribution — and each decision *not* to redistribute — is
+/// auditable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDecisionEvent {
+    /// Driver iteration the decision was made after (`i1`).
+    pub iter: u64,
+    /// Engine elapsed seconds at decision time.
+    pub time_s: f64,
+    /// Observed iteration phase time (`t1`).
+    pub observed_s: f64,
+    /// Baseline iteration time right after the last redistribution
+    /// (`t0`; equals `observed_s` on the seeding evaluation).
+    pub baseline_s: f64,
+    /// Projected cumulative loss `(t1 - t0) · (i1 - i0)`.
+    pub projected_loss_s: f64,
+    /// The policy's threshold (the SAR policy's `cost_estimate()`).
+    pub threshold_s: f64,
+    /// Verdict: `true` when the policy asked for a redistribution.
+    pub fired: bool,
+}
+
+/// Per-rank particle counts at the end of one driver iteration — the
+/// raw series behind load-imbalance curves (dashboard and Perfetto
+/// counter tracks).  [`IterationEvent`] only carries the min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankLoadEvent {
+    /// Iteration number (1-based).
+    pub iter: u64,
+    /// Engine elapsed seconds at emission time.
+    pub time_s: f64,
+    /// Particle count of each rank, indexed by rank.
+    pub counts: Vec<u64>,
+}
+
 /// One structured observability event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -248,6 +288,10 @@ pub enum TraceEvent {
     Fault(FaultEvent),
     /// Checkpoint saved/restored.
     Checkpoint(CheckpointEvent),
+    /// Redistribution-policy evaluation (SAR audit record).
+    PolicyDecision(PolicyDecisionEvent),
+    /// Per-rank particle counts after an iteration.
+    RankLoad(RankLoadEvent),
 }
 
 impl TraceEvent {
@@ -260,6 +304,8 @@ impl TraceEvent {
             TraceEvent::Redistribution(_) => "redistribution",
             TraceEvent::Fault(_) => "fault",
             TraceEvent::Checkpoint(_) => "checkpoint",
+            TraceEvent::PolicyDecision(_) => "policy_decision",
+            TraceEvent::RankLoad(_) => "rank_load",
         }
     }
 
@@ -275,6 +321,22 @@ impl TraceEvent {
     pub fn superstep(&self) -> Option<&SuperstepEvent> {
         match self {
             TraceEvent::Superstep(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The policy-decision payload, when this is a policy decision.
+    pub fn policy_decision(&self) -> Option<&PolicyDecisionEvent> {
+        match self {
+            TraceEvent::PolicyDecision(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The rank-load payload, when this is a rank-load event.
+    pub fn rank_load(&self) -> Option<&RankLoadEvent> {
+        match self {
+            TraceEvent::RankLoad(l) => Some(l),
             _ => None,
         }
     }
@@ -368,6 +430,35 @@ impl TraceEvent {
                     e.action.label()
                 );
             }
+            TraceEvent::PolicyDecision(e) => {
+                let _ = write!(
+                    s,
+                    ",\"iter\":{},\"time_s\":{},\"observed_s\":{},\"baseline_s\":{},\
+                     \"projected_loss_s\":{},\"threshold_s\":{},\"fired\":{}",
+                    e.iter,
+                    json_f64(e.time_s),
+                    json_f64(e.observed_s),
+                    json_f64(e.baseline_s),
+                    json_f64(e.projected_loss_s),
+                    json_f64(e.threshold_s),
+                    e.fired
+                );
+            }
+            TraceEvent::RankLoad(e) => {
+                let _ = write!(
+                    s,
+                    ",\"iter\":{},\"time_s\":{},\"counts\":[",
+                    e.iter,
+                    json_f64(e.time_s)
+                );
+                for (i, c) in e.counts.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{c}");
+                }
+                s.push(']');
+            }
         }
         s.push('}');
         s
@@ -437,6 +528,29 @@ impl TraceEvent {
                 e.bytes,
                 e.action.label()
             ),
+            TraceEvent::PolicyDecision(e) => format!(
+                "policy_decision,,,,,{},{:.9},,,,,,,,observed={:.9} baseline={:.9} \
+                 projected={:.9} threshold={:.9} fired={}",
+                e.iter,
+                e.time_s,
+                e.observed_s,
+                e.baseline_s,
+                e.projected_loss_s,
+                e.threshold_s,
+                e.fired
+            ),
+            TraceEvent::RankLoad(e) => {
+                let counts = e
+                    .counts
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                format!(
+                    "rank_load,,,,,{},{:.9},,,,,,,,counts {}",
+                    e.iter, e.time_s, counts
+                )
+            }
         }
     }
 }
@@ -495,6 +609,15 @@ pub trait Recorder: Send {
 
     /// Flush any buffered output (a no-op for in-memory sinks).
     fn flush(&mut self) {}
+
+    /// Number of event deliveries this recorder has discarded (bounded
+    /// sinks evicting, fan-outs summing over their sinks).  Exposed on
+    /// the trait so drop counts survive `Box<dyn Recorder>` erasure and
+    /// reports can say "totals undercount" instead of silently
+    /// truncating.  Defaults to 0 for lossless sinks.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Unbounded in-memory recorder; the usual exporter input.
@@ -572,6 +695,10 @@ impl Recorder for RingRecorder {
             self.dropped += 1;
         }
         self.buf.push_back(event.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -703,6 +830,14 @@ impl Recorder for MultiRecorder {
             s.flush();
         }
     }
+
+    fn dropped(&self) -> u64 {
+        // Every sink sees every delivery, so per-sink drop counts are
+        // independent and the fan-out total is their sum.  Before this
+        // override the default would report 0 even with a saturated
+        // ring inside — the accounting gap the trait method closes.
+        self.sinks.iter().map(|s| s.dropped()).sum()
+    }
 }
 
 /// Clonable, thread-safe handle around any recorder: install one clone
@@ -738,6 +873,10 @@ impl<R: Recorder> Recorder for SharedRecorder<R> {
     fn flush(&mut self) {
         self.with(Recorder::flush);
     }
+
+    fn dropped(&self) -> u64 {
+        self.with(|r| Recorder::dropped(r))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -748,8 +887,12 @@ impl<R: Recorder> Recorder for SharedRecorder<R> {
 /// `{"traceEvents": [...], ...}`), loadable in `chrome://tracing` and
 /// Perfetto.  Each rank becomes one thread track (`tid` = rank); spans
 /// become complete (`"ph":"X"`) events with microsecond timestamps;
-/// iteration/redistribution/fault/checkpoint events become instant
-/// (`"ph":"i"`) markers on a separate driver track.
+/// iteration/redistribution/fault/checkpoint/policy events become
+/// instant (`"ph":"i"`) markers on a separate driver track.  Two
+/// counter (`"ph":"C"`) tracks render load curves alongside the spans:
+/// `exchange bytes` (per-rank bytes sent, one sample per superstep with
+/// traffic) and `particles` (per-rank particle counts from
+/// [`RankLoadEvent`]s).
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     /// Track id for driver-level (non-rank) events.
     const DRIVER_TID: u64 = 1_000_000;
@@ -763,9 +906,15 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         *first = false;
         out.push_str(&s);
     };
+    // Per-rank bytes sent in the superstep currently being scanned; the
+    // engines emit a superstep's rank spans immediately before its
+    // aggregate SuperstepEvent, so flushing on the aggregate turns the
+    // contiguous span run into one counter sample.
+    let mut step_bytes: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
     for ev in events {
         match ev {
             TraceEvent::Span(e) => {
+                *step_bytes.entry(e.rank).or_insert(0) += e.bytes_sent;
                 // Idle time (barrier wait) is inside comm_s; the span is
                 // rendered busy for its full extent, which matches how
                 // the cost model charges it.
@@ -846,7 +995,62 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &mut first,
                 );
             }
-            TraceEvent::Superstep(_) => {} // rank spans already cover it
+            TraceEvent::PolicyDecision(e) => {
+                push(
+                    format!(
+                        "{{\"name\":\"policy {}\",\"cat\":\"driver\",\"ph\":\"i\",\"s\":\"g\",\
+                         \"pid\":0,\"tid\":{},\"ts\":{:.3},\"args\":{{\"iter\":{},\
+                         \"projected_loss_s\":{},\"threshold_s\":{},\"fired\":{}}}}}",
+                        if e.fired { "fired" } else { "held" },
+                        DRIVER_TID,
+                        e.time_s * 1e6,
+                        e.iter,
+                        json_f64(e.projected_loss_s),
+                        json_f64(e.threshold_s),
+                        e.fired
+                    ),
+                    &mut first,
+                );
+            }
+            TraceEvent::RankLoad(e) => {
+                let mut args = String::new();
+                for (rank, c) in e.counts.iter().enumerate() {
+                    if rank > 0 {
+                        args.push(',');
+                    }
+                    let _ = write!(args, "\"rank {rank}\":{c}");
+                }
+                push(
+                    format!(
+                        "{{\"name\":\"particles\",\"cat\":\"load\",\"ph\":\"C\",\"pid\":0,\
+                         \"ts\":{:.3},\"args\":{{{args}}}}}",
+                        e.time_s * 1e6
+                    ),
+                    &mut first,
+                );
+            }
+            // Rank spans already cover the aggregate; use it as the
+            // flush point for the per-superstep exchange-bytes counter.
+            TraceEvent::Superstep(e) => {
+                if step_bytes.values().any(|&b| b > 0) {
+                    let mut args = String::new();
+                    for (i, (rank, bytes)) in step_bytes.iter().enumerate() {
+                        if i > 0 {
+                            args.push(',');
+                        }
+                        let _ = write!(args, "\"rank {rank}\":{bytes}");
+                    }
+                    push(
+                        format!(
+                            "{{\"name\":\"exchange bytes\",\"cat\":\"load\",\"ph\":\"C\",\
+                             \"pid\":0,\"ts\":{:.3},\"args\":{{{args}}}}}",
+                            e.start_s * 1e6
+                        ),
+                        &mut first,
+                    );
+                }
+                step_bytes.clear();
+            }
         }
     }
     out.push_str("]}");
@@ -899,23 +1103,24 @@ pub struct PhaseMetrics {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsReport {
     phases: Vec<PhaseMetrics>,
+    dropped: u64,
 }
 
 impl MetricsReport {
     /// Aggregate the [`SuperstepEvent`]s in `events` by phase (ordered
-    /// by descending total time).
+    /// by descending total time).  If the events came from a bounded
+    /// recorder, prefer [`MetricsReport::from_events_with_dropped`] so
+    /// the report can disclose the truncation.
     pub fn from_events(events: &[TraceEvent]) -> Self {
-        let all_phases = [
-            PhaseKind::Scatter,
-            PhaseKind::FieldSolve,
-            PhaseKind::Gather,
-            PhaseKind::Push,
-            PhaseKind::Redistribute,
-            PhaseKind::Setup,
-            PhaseKind::Other,
-        ];
+        Self::from_events_with_dropped(events, 0)
+    }
+
+    /// Like [`MetricsReport::from_events`], but carrying the source
+    /// recorder's [`Recorder::dropped`] count so the rendered report
+    /// warns that totals undercount instead of silently truncating.
+    pub fn from_events_with_dropped(events: &[TraceEvent], dropped: u64) -> Self {
         let mut phases = Vec::new();
-        for phase in all_phases {
+        for phase in PhaseKind::ALL {
             let durations: Vec<f64> = events
                 .iter()
                 .filter_map(TraceEvent::superstep)
@@ -944,7 +1149,7 @@ impl MetricsReport {
             });
         }
         phases.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).expect("finite totals"));
-        Self { phases }
+        Self { phases, dropped }
     }
 
     /// The per-phase rows, ordered by descending total time.
@@ -952,9 +1157,21 @@ impl MetricsReport {
         &self.phases
     }
 
+    /// Events the source recorder dropped before this aggregation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "(warning: {} events dropped by a bounded recorder; totals undercount)",
+                self.dropped
+            );
+        }
         let _ = writeln!(
             out,
             "{:<12} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>12}",
@@ -1004,27 +1221,33 @@ impl MetricsReport {
 /// Flamegraph-style per-rank timeline: for every rank, one bar per phase
 /// sized by that rank's summed busy time (compute + comm from its span
 /// events), plus a totals row.  `width` is the bar width in characters
-/// of the largest row.
+/// of the largest row.  For events read from a bounded recorder, use
+/// [`timeline_report_with_dropped`] so the truncation is disclosed.
 pub fn timeline_report(events: &[TraceEvent], width: usize) -> String {
+    timeline_report_with_dropped(events, width, 0)
+}
+
+/// [`timeline_report`] plus the source recorder's [`Recorder::dropped`]
+/// count; a nonzero count renders a leading warning line because the
+/// bars then undercount the run.
+pub fn timeline_report_with_dropped(events: &[TraceEvent], width: usize, dropped: u64) -> String {
     let width = width.max(10);
     let spans: Vec<&SpanEvent> = events.iter().filter_map(TraceEvent::span).collect();
     let mut out = String::new();
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "(warning: {dropped} events dropped by a bounded recorder; bars undercount)"
+        );
+    }
     if spans.is_empty() {
         out.push_str("(no span events recorded)\n");
         return out;
     }
     let ranks = spans.iter().map(|s| s.rank).max().unwrap_or(0) + 1;
-    let phases = [
-        PhaseKind::Scatter,
-        PhaseKind::FieldSolve,
-        PhaseKind::Gather,
-        PhaseKind::Push,
-        PhaseKind::Redistribute,
-        PhaseKind::Setup,
-        PhaseKind::Other,
-    ];
+    let phases = PhaseKind::ALL;
     // busy[rank][phase] = summed compute + comm
-    let mut busy = vec![[0.0f64; 7]; ranks];
+    let mut busy = vec![[0.0f64; PhaseKind::ALL.len()]; ranks];
     for s in &spans {
         let pi = phases
             .iter()
@@ -1177,11 +1400,53 @@ mod tests {
                 bytes: 1234,
                 action: CheckpointAction::Saved,
             }),
+            TraceEvent::PolicyDecision(PolicyDecisionEvent {
+                iter: 7,
+                time_s: 1.25,
+                observed_s: 0.2,
+                baseline_s: 0.1,
+                projected_loss_s: 0.5,
+                threshold_s: 0.4,
+                fired: true,
+            }),
+            TraceEvent::RankLoad(RankLoadEvent {
+                iter: 7,
+                time_s: 1.25,
+                counts: vec![10, 20, 30],
+            }),
         ];
         let cols = TraceEvent::CSV_HEADER.matches(',').count();
         for ev in &events {
             assert_eq!(ev.to_csv_row().matches(',').count(), cols, "{}", ev.kind());
         }
+    }
+
+    #[test]
+    fn policy_and_rank_load_events_serialize() {
+        let d = TraceEvent::PolicyDecision(PolicyDecisionEvent {
+            iter: 11,
+            time_s: 2.0,
+            observed_s: 0.3,
+            baseline_s: 0.1,
+            projected_loss_s: 0.8,
+            threshold_s: 0.75,
+            fired: true,
+        });
+        let json = d.to_json();
+        assert!(json.contains("\"event\":\"policy_decision\""));
+        assert!(json.contains("\"fired\":true"));
+        assert!(json.contains("\"threshold_s\":0.75"));
+        assert!(d.policy_decision().is_some());
+        let l = TraceEvent::RankLoad(RankLoadEvent {
+            iter: 11,
+            time_s: 2.0,
+            counts: vec![5, 6],
+        });
+        let json = l.to_json();
+        assert!(json.contains("\"event\":\"rank_load\""));
+        assert!(json.contains("\"counts\":[5,6]"));
+        assert_eq!(l.rank_load().unwrap().counts, vec![5, 6]);
+        assert!(l.to_csv_row().ends_with("counts 5 6"));
     }
 
     #[test]
@@ -1194,6 +1459,34 @@ mod tests {
         multi.record(&step(PhaseKind::Other, 1.0));
         assert_eq!(a.with(|r| r.events().len()), 1);
         assert_eq!(b.with(|r| r.to_vec().len()), 1);
+    }
+
+    #[test]
+    fn multi_recorder_surfaces_dropped_counts() {
+        let ring = SharedRecorder::new(RingRecorder::new(2));
+        let mem = SharedRecorder::new(MemoryRecorder::new());
+        let mut multi = MultiRecorder::new()
+            .with(Box::new(ring.clone()))
+            .with(Box::new(mem.clone()));
+        for i in 0..5 {
+            multi.record(&step(PhaseKind::Push, i as f64));
+        }
+        // The ring evicted 3, the memory sink none; the fan-out reports
+        // the sum through the trait (previously invisible behind the
+        // Box<dyn Recorder> erasure).
+        assert_eq!(Recorder::dropped(&multi), 3);
+        assert_eq!(ring.with(|r| r.dropped()), 3);
+        // And reports disclose the truncation instead of hiding it.
+        let events = mem.with(|r| r.events().to_vec());
+        let report = MetricsReport::from_events_with_dropped(&events, Recorder::dropped(&multi));
+        assert_eq!(report.dropped(), 3);
+        assert!(report.render().contains("3 events dropped"));
+        let tl = timeline_report_with_dropped(&events, 40, 3);
+        assert!(tl.contains("3 events dropped"));
+        // The undropped path stays warning-free.
+        assert!(!MetricsReport::from_events(&events)
+            .render()
+            .contains("dropped"));
     }
 
     #[test]
@@ -1249,9 +1542,38 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         // superstep events are not duplicated into the trace
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        // ...but flush the per-superstep exchange-bytes counter sample
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 1);
+        assert!(json.contains("\"name\":\"exchange bytes\""));
+        assert!(json.contains("\"rank 0\":8,\"rank 1\":8"));
         // balanced braces/brackets (cheap well-formedness check)
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_emits_particle_counters_and_policy_instants() {
+        let events = [
+            TraceEvent::RankLoad(RankLoadEvent {
+                iter: 1,
+                time_s: 0.5,
+                counts: vec![100, 50],
+            }),
+            TraceEvent::PolicyDecision(PolicyDecisionEvent {
+                iter: 1,
+                time_s: 0.5,
+                observed_s: 0.2,
+                baseline_s: 0.1,
+                projected_loss_s: 0.1,
+                threshold_s: 0.4,
+                fired: false,
+            }),
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"name\":\"particles\""));
+        assert!(json.contains("\"rank 0\":100,\"rank 1\":50"));
+        assert!(json.contains("\"name\":\"policy held\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -31,6 +31,31 @@ pub enum PolicyState {
     },
 }
 
+/// An auditable record of one `should_redistribute` evaluation — what
+/// the policy observed, what it compared against, and what it decided.
+/// Consumed by the simulation driver, which converts it into a
+/// `policy_decision` trace event so every redistribution (and every
+/// deliberate *non*-redistribution) can be replayed from the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDecision {
+    /// Iteration the decision was made at.
+    pub iter: usize,
+    /// The iteration time the policy observed (its input).
+    pub observed_s: f64,
+    /// The baseline it compared against (`t0` for Stop-At-Rise); equals
+    /// `observed_s` on the seeding iteration right after a
+    /// redistribution, and NaN for policies without a time baseline.
+    pub baseline_s: f64,
+    /// Projected loss of *not* redistributing: `rise * (iter - i0)`
+    /// (paper Eq. 1 left-hand side). NaN for time-blind policies.
+    pub projected_loss_s: f64,
+    /// The trigger threshold (`T_redistribution` for Stop-At-Rise).
+    /// NaN for time-blind policies.
+    pub threshold_s: f64,
+    /// Whether the policy decided to redistribute.
+    pub fired: bool,
+}
+
 /// Decides when the particles should be redistributed.
 pub trait RedistributionPolicy: Send {
     /// Called after every iteration with the iteration's execution time;
@@ -40,6 +65,13 @@ pub trait RedistributionPolicy: Send {
     /// Called after each redistribution completes, with its cost; also
     /// called once after the initial distribution (iteration 0).
     fn notify_redistributed(&mut self, iter: usize, cost_s: f64);
+
+    /// The audit record of the most recent `should_redistribute` call,
+    /// if the policy produces one. The default (stateless policies)
+    /// returns None; the driver then synthesizes a minimal record.
+    fn last_decision(&self) -> Option<PolicyDecision> {
+        None
+    }
 
     /// Snapshot the mutable decision state for a checkpoint.
     fn snapshot_state(&self) -> PolicyState {
@@ -129,6 +161,8 @@ pub struct DynamicSarPolicy {
     t0: Option<f64>,
     /// Cost of the previous redistribution (`T_redistribution`).
     redist_cost: f64,
+    /// Audit record of the most recent decision.
+    last: Option<PolicyDecision>,
 }
 
 impl DynamicSarPolicy {
@@ -139,6 +173,7 @@ impl DynamicSarPolicy {
             i0: 0,
             t0: None,
             redist_cost: f64::INFINITY,
+            last: None,
         }
     }
 
@@ -160,15 +195,34 @@ impl RedistributionPolicy for DynamicSarPolicy {
             // first iteration after a redistribution defines t0
             None => {
                 self.t0 = Some(iter_time_s);
+                self.last = Some(PolicyDecision {
+                    iter,
+                    observed_s: iter_time_s,
+                    baseline_s: iter_time_s,
+                    projected_loss_s: 0.0,
+                    threshold_s: self.redist_cost,
+                    fired: false,
+                });
                 return false;
             }
             Some(t0) => t0,
         };
         let rise = iter_time_s - t0;
-        if rise <= 0.0 {
-            return false;
-        }
-        rise * (iter - self.i0) as f64 >= self.redist_cost
+        let projected_loss_s = rise.max(0.0) * (iter - self.i0) as f64;
+        let fired = rise > 0.0 && projected_loss_s >= self.redist_cost;
+        self.last = Some(PolicyDecision {
+            iter,
+            observed_s: iter_time_s,
+            baseline_s: t0,
+            projected_loss_s,
+            threshold_s: self.redist_cost,
+            fired,
+        });
+        fired
+    }
+
+    fn last_decision(&self) -> Option<PolicyDecision> {
+        self.last
     }
 
     fn notify_redistributed(&mut self, iter: usize, cost_s: f64) {

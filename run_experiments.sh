@@ -30,7 +30,7 @@ BINS="table1_strategies fig16_static_vs_periodic fig17_iteration_time \
       fig18_scatter_data fig19_scatter_messages fig20_dynamic_policy \
       table2_time table3_efficiency fig21_overhead_uniform fig22_overhead_irregular \
       baseline_replicated ablation_machine ablation_dedup observability_overhead \
-      hot_path_baseline"
+      observability_dashboard hot_path_baseline"
 
 ran=0
 for bin in $BINS; do
